@@ -1,0 +1,56 @@
+"""Ablation: SF online search direction (Section 4's aside).
+
+The paper: "The analog to predecessor chains in SF are increasing
+chains.  Searching increasing chains in SF results in a higher
+detection rate (57%), but the much higher cost outweighs any benefits."
+
+We run SF-Online under both search modes on the cyclic half of the
+suite and report detection fractions and search cost.
+"""
+
+from conftest import once
+
+from repro.graph import SearchMode
+from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+
+
+def run_mode(results, mode):
+    eliminated = 0
+    scc_vars = 0
+    visits = 0
+    searches = 0
+    for bench in results.benchmarks:
+        stats = results.statistics(bench.name)
+        if stats.final_scc_vars < 20:
+            continue
+        solution = solve(bench.program.system, SolverOptions(
+            form=GraphForm.STANDARD,
+            cycles=CyclePolicy.ONLINE,
+            search_mode=mode,
+        ))
+        eliminated += solution.stats.vars_eliminated
+        scc_vars += stats.final_scc_vars
+        visits += solution.stats.cycle_search_visits
+        searches += solution.stats.cycle_searches
+    return {
+        "fraction": eliminated / scc_vars if scc_vars else 0.0,
+        "mean_visits": visits / searches if searches else 0.0,
+    }
+
+
+def test_increasing_chains_ablation(results, benchmark):
+    outcome = once(benchmark, lambda: {
+        "decreasing": run_mode(results, SearchMode.DECREASING),
+        "increasing": run_mode(results, SearchMode.INCREASING),
+    })
+    dec = outcome["decreasing"]
+    inc = outcome["increasing"]
+    print(f"\nSF-Online decreasing: detect {dec['fraction']:.0%}, "
+          f"{dec['mean_visits']:.2f} visits/search")
+    print(f"SF-Online increasing: detect {inc['fraction']:.0%}, "
+          f"{inc['mean_visits']:.2f} visits/search")
+
+    # The paper's trade-off: increasing chains detect at least as many
+    # cycle variables but pay more per search.
+    assert inc["fraction"] >= dec["fraction"] * 0.9
+    assert inc["mean_visits"] > dec["mean_visits"]

@@ -1,0 +1,36 @@
+"""Regenerate paper Figure 10: IF-Online versus SF-Online.
+
+Shape: IF-Online is consistently faster than SF-Online for medium and
+large programs (the paper reports a factor of up to ~3.8 in time; the
+deterministic work ratio is even clearer), while tiny programs may go
+either way.
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments import figure10, render_figure10
+
+
+def test_figure10(results, benchmark):
+    series = once(benchmark, lambda: figure10(results))
+    print()
+    print(render_figure10(results))
+
+    named = dict(series)
+    work_ratio = named["SF-Online/IF-Online work"]
+
+    # IF wins on work for medium and large programs (the paper: "at
+    # least 10,000 AST nodes"; our scaled threshold is 4,000).
+    tail = [ratio for ast, ratio in work_ratio if ast > 4000]
+    if not tail:
+        pytest.skip("no medium/large benchmarks in the active suite")
+    assert all(ratio > 1.0 for ratio in tail), work_ratio
+    assert max(tail) > 2.0
+
+    # Wall-clock is noisy on a loaded box; work is the canonical
+    # metric.  Sanity-check only: the time ratio on the largest entry
+    # must not contradict the work ratio by more than ~2x.
+    time_ratio = named["SF-Online/IF-Online time"]
+    if time_ratio[-1][0] > 8000:
+        assert time_ratio[-1][1] > 0.4

@@ -1,0 +1,24 @@
+"""Regenerate paper Figure 11: fraction of cycle variables detected.
+
+Shape: IF-Online finds the large majority of final-SCC variables
+(paper: ~80%), SF-Online about half of IF's fraction (paper: ~40%).
+"""
+
+from conftest import once
+
+from repro.experiments import figure11, figure11_averages, render_figure11
+
+
+def test_figure11(results, benchmark):
+    rows = once(benchmark, lambda: figure11(results))
+    print()
+    print(render_figure11(results))
+
+    mean_if, mean_sf = figure11_averages(results)
+    assert mean_if > 0.55, mean_if
+    assert mean_sf < mean_if
+    assert mean_if > 1.5 * mean_sf, (mean_if, mean_sf)
+
+    # Per benchmark, IF ties or beats SF almost everywhere.
+    wins = sum(1 for _, if_frac, sf_frac in rows if if_frac >= sf_frac)
+    assert wins >= 0.8 * len(rows)

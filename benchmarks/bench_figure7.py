@@ -1,0 +1,33 @@
+"""Regenerate paper Figure 7: times without cycle elimination.
+
+Shape: both curves blow up superlinearly with program size, and SF-Plain
+generally outperforms IF-Plain (cycles add many redundant transitive
+variable-variable edges under IF).
+"""
+
+from conftest import once
+
+from repro.experiments import figure7, render_figure7
+
+
+def test_figure7(results, benchmark):
+    series = once(benchmark, lambda: figure7(results))
+    print()
+    print(render_figure7(results))
+
+    named = dict(series)
+    sf = named["SF-Plain (s)"]
+    if_ = named["IF-Plain (s)"]
+
+    # Superlinear growth: time ratio grows faster than the size ratio
+    # between the smallest and largest benchmarks.
+    (x0, y0), (x1, y1) = sf[0], sf[-1]
+    assert x1 > x0
+    if y0 > 0:
+        assert y1 / max(y0, 1e-9) > (x1 / x0), "SF-Plain must be superlinear"
+
+    # IF-Plain at least as expensive as SF-Plain on the large half.
+    half = len(sf) // 2
+    sf_tail = sum(y for _, y in sf[half:])
+    if_tail = sum(y for _, y in if_[half:])
+    assert if_tail >= sf_tail

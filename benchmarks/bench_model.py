@@ -1,0 +1,93 @@
+"""Regenerate the Section 5 analytical results (Theorems 5.1 and 5.2).
+
+Three layers of validation:
+
+1. the closed-form sums themselves (Theorem 5.1's ratio trend, Theorem
+   5.2's bound);
+2. Monte-Carlo simulation of the random-graph model against the sums;
+3. the *production solver* run on model-distributed inputs.
+"""
+
+import pytest
+from conftest import once
+
+from repro.model import (
+    expected_reachable_exact,
+    expected_work_if,
+    expected_work_sf,
+    measure_solver_on_model,
+    simulate_reachable,
+    simulate_work,
+    theorem_5_1_ratio,
+    theorem_5_2_bound,
+)
+
+
+def test_theorem_5_1_formula(benchmark):
+    ratios = once(
+        benchmark,
+        lambda: [theorem_5_1_ratio(n)
+                 for n in (10**3, 10**4, 10**5, 10**6)],
+    )
+    print(f"\nTheorem 5.1 ratios (n=1e3..1e6): "
+          f"{[round(r, 3) for r in ratios]} (paper: -> ~2.5)")
+    assert ratios == sorted(ratios)
+    assert ratios[-1] == pytest.approx(2.5, abs=0.1)
+
+
+def test_theorem_5_2_bound(benchmark):
+    value = once(benchmark, lambda: theorem_5_2_bound(2.0))
+    print(f"\nTheorem 5.2 bound at k=2: {value:.3f} (paper: ~2.2)")
+    assert value == pytest.approx(2.195, abs=0.01)
+    assert expected_reachable_exact(10**5, 2.0) <= value
+
+
+def test_monte_carlo_matches_formulas(benchmark):
+    n, m, p = 8, 5, 1 / 8
+    sim = once(
+        benchmark, lambda: simulate_work(n, m, p, trials=300, seed=17)
+    )
+    formula_sf = expected_work_sf(n, m, p)
+    formula_if = expected_work_if(n, m, p)
+    print(f"\nMonte Carlo: SF {sim.mean_work_sf:.1f} vs formula "
+          f"{formula_sf:.1f}; IF {sim.mean_work_if:.1f} vs formula "
+          f"{formula_if:.1f}")
+    assert sim.mean_work_sf == pytest.approx(formula_sf, rel=0.25)
+    assert sim.mean_work_if == pytest.approx(formula_if, rel=0.25)
+
+
+def test_monte_carlo_reachability(benchmark):
+    sim = once(
+        benchmark,
+        lambda: simulate_reachable(400, 2.0, trials=4, seed=5),
+    )
+    bound = theorem_5_2_bound(2.0)
+    print(f"\nMean reachable via decreasing chains: "
+          f"{sim.mean_reachable:.2f} <= {bound:.2f}")
+    assert sim.mean_reachable <= bound * 1.25
+
+
+def test_solver_on_model_distribution(benchmark):
+    comparison = once(
+        benchmark, lambda: measure_solver_on_model(400, trials=3, seed=2)
+    )
+    print(f"\nProduction solver on model inputs (n=400): SF/IF work "
+          f"ratio {comparison.ratio:.2f} (grows toward ~2.5 with n)")
+    assert comparison.ratio > 1.0
+
+
+def test_measured_search_cost_matches_theorem(results, benchmark):
+    """Live search-visit counters from real runs validate Theorem 5.2."""
+    def collect():
+        visits = []
+        for bench in results.benchmarks:
+            record = results.run(bench.name, "IF-Online")
+            if record.cycles_found:
+                visits.append(record.mean_search_visits)
+        return visits
+
+    visits = once(benchmark, collect)
+    mean = sum(visits) / len(visits)
+    print(f"\nMean nodes visited per partial search on the real suite: "
+          f"{mean:.2f} (paper observes ~2)")
+    assert mean < 6.0

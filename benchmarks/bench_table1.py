@@ -1,0 +1,40 @@
+"""Regenerate paper Table 1: static benchmark data.
+
+Checks the suite sits in the regimes the paper reports: sparse initial
+graphs, a vars/AST ratio well below one, and most cycle variables
+appearing only in the *final* graph (Section 2.5: "less than 20% of the
+variables that are in strongly connected components in the final graph
+also appear in strongly connected components in the initial graph" for
+the majority of benchmarks).
+"""
+
+from conftest import once
+
+from repro.experiments import render_table1, table1
+
+
+def test_table1(results, benchmark):
+    stats = once(benchmark, lambda: table1(results))
+    print()
+    print(render_table1(results))
+
+    assert len(stats) == len(results.benchmarks)
+    sizes = [s.ast_nodes for s in stats]
+    assert sizes == sorted(sizes), "suite must span increasing sizes"
+    assert sizes[-1] > 10 * sizes[0], "suite must span an order of magnitude"
+
+    for s in stats:
+        # Sparse initial graphs (the Section 5 model regime).
+        assert s.initial_edges < 3 * s.initial_nodes, s.name
+        # Variables per AST node in Table 1's ballpark.
+        assert s.set_vars < 0.8 * s.ast_nodes, s.name
+        # Cycles grow during closure.
+        assert s.final_scc_vars >= s.initial_scc_vars, s.name
+
+    # Most cycle variables appear only during closure: on aggregate the
+    # initial graphs contain well under half of the final SCC content
+    # (the paper reports under 20% for the majority of its benchmarks;
+    # our synthetic programs are somewhat more cyclic up front).
+    total_initial = sum(s.initial_scc_vars for s in stats)
+    total_final = sum(s.final_scc_vars for s in stats)
+    assert total_initial < 0.5 * total_final

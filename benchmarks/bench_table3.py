@@ -1,0 +1,47 @@
+"""Regenerate paper Table 3: online cycle elimination runs.
+
+Shape claims checked (Section 4): online elimination eliminates a large
+fraction of cycle variables, IF-Online eliminates about twice the
+fraction SF-Online does, and the partial searches stay tiny (the
+Theorem 5.2 regime).
+"""
+
+from conftest import once
+
+from repro.experiments import render_table3, table3
+
+
+def test_table3(results, benchmark):
+    rows = once(benchmark, lambda: table3(results))
+    print()
+    print(render_table3(results))
+
+    cyclic = [
+        (bench, row)
+        for bench, row in zip(results.benchmarks, rows)
+        if results.statistics(bench.name).final_scc_vars > 20
+    ]
+    assert cyclic, "suite has no cyclic benchmarks"
+
+    total_scc = sum(
+        results.statistics(bench.name).final_scc_vars
+        for bench, _ in cyclic
+    )
+    if_eliminated = sum(
+        row["IF-Online"].vars_eliminated for _, row in cyclic
+    )
+    sf_eliminated = sum(
+        row["SF-Online"].vars_eliminated for _, row in cyclic
+    )
+
+    if_fraction = if_eliminated / total_scc
+    sf_fraction = sf_eliminated / total_scc
+    print(f"\nAggregate detection: IF {if_fraction:.0%}, SF {sf_fraction:.0%} "
+          "(paper: ~80% / ~40%)")
+    assert if_fraction > 0.55
+    assert sf_fraction < if_fraction
+    assert if_fraction > 1.5 * sf_fraction
+
+    # Theorem 5.2: the partial search visits ~2 nodes on average.
+    for _, row in cyclic:
+        assert row["IF-Online"].mean_search_visits < 8.0

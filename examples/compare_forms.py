@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Look inside the two graph representations (paper Figure 2).
+
+Builds the paper's running example — sources L1..Lk flowing through a
+chain X -> Y1..Yl -> Z into sinks R1..Rm — and shows where each
+representation stores its edges and how much work closure does.
+
+Run:  python examples/compare_forms.py
+"""
+
+from repro import ConstraintSystem, Variance
+from repro.graph import CreationOrder
+from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+
+
+def build(k=3, l=4, m=2):
+    """The Figure 2 constraint system: L_i <= X <= Y_j <= Z <= R_h."""
+    system = ConstraintSystem("figure2")
+    c = system.constructor("c", (Variance.COVARIANT,))
+    x = system.fresh_var("X")
+    ys = [system.fresh_var(f"Y{i}") for i in range(l)]
+    z = system.fresh_var("Z")
+    for i in range(k):
+        system.add(system.term(c, (system.zero,), label=f"L{i}"), x)
+    for y in ys:
+        system.add(x, y)
+        system.add(y, z)
+    for h in range(m):
+        # Distinct sink terms R_h.
+        sink_arg = system.fresh_var(f"r{h}")
+        system.add(z, system.term(c, (sink_arg,)))
+    return system, x, ys, z
+
+
+def show(form, system, x, ys, z):
+    options = SolverOptions(
+        form=form, cycles=CyclePolicy.NONE, order=CreationOrder()
+    )
+    solution = solve(system, options)
+    graph = solution.graph
+    print(f"\n=== {form.value} (creation order: o(X) < o(Yi) < o(Z)) ===")
+    print(f"work = {solution.stats.work}, "
+          f"redundant = {solution.stats.redundant}, "
+          f"final edges = {solution.stats.final_edges}")
+    for var in (x, ys[0], z):
+        index = var.index
+        succs = sorted(graph.canonical_successors(index))
+        preds = sorted(graph.canonical_predecessors(index))
+        sources = sorted(str(t) for t in graph.sources[index])
+        sinks = len(graph.sinks[index])
+        print(f"  {var.name:3s}: succ_vars={succs} pred_vars={preds} "
+          f"sources={sources} sinks={sinks}")
+    return solution
+
+
+def main() -> None:
+    system, x, ys, z = build()
+    print("Constraints: L0..L2 <= X;  X <= Yi <= Z (i=0..3);  "
+          "Z <= R0, R1")
+
+    sf = show(GraphForm.STANDARD, system, x, ys, z)
+    if_ = show(GraphForm.INDUCTIVE, system, x, ys, z)
+
+    print(
+        f"\nSF copied every source down the whole chain "
+        f"(sources explicit everywhere);\n"
+        f"IF left them at X and relies on the final least-solution "
+        f"sweep.\nWork: SF={sf.stats.work} vs IF={if_.stats.work}."
+    )
+    print("\nBoth compute the same least solution for Z:")
+    print(" ", sorted(str(t) for t in sf.least_solution(z)))
+    print(" ", sorted(str(t) for t in if_.least_solution(z)))
+
+
+if __name__ == "__main__":
+    main()

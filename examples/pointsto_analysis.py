@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Andersen's points-to analysis on a C program.
+
+Parses C source (a file given on the command line, or a built-in demo
+program), generates set constraints per the paper's Section 3
+formulation, solves with IF-Online, and prints the points-to graph.
+Also runs the Steensgaard baseline to show the precision difference.
+
+Run:  python examples/pointsto_analysis.py [file.c]
+"""
+
+import sys
+
+from repro.andersen import (
+    analyze_source,
+    analyze_unit_steensgaard,
+    solve_points_to,
+)
+from repro.cfront import parse
+
+DEMO = """
+int x, y;
+int *p, *q;
+int **pp;
+
+struct list { struct list *next; int *item; };
+struct list *head;
+
+void push(struct list **slot, int *value) {
+    struct list *cell;
+    cell = (struct list *)malloc(sizeof(struct list));
+    cell->next = *slot;
+    cell->item = value;
+    *slot = cell;
+}
+
+int *choose(int *a, int *b) {
+    return a ? a : b;
+}
+
+int main(void) {
+    p = &x;
+    q = &y;
+    pp = &p;
+    *pp = choose(p, q);
+    push(&head, q);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            source = handle.read()
+        name = sys.argv[1]
+    else:
+        source, name = DEMO, "<demo>"
+
+    program = analyze_source(source, filename=name)
+    print(
+        f"{name}: {program.ast_nodes} AST nodes, "
+        f"{program.num_locations} abstract locations, "
+        f"{program.system.num_vars} set variables, "
+        f"{len(program.system)} constraints"
+    )
+
+    result = solve_points_to(program)  # IF-Online by default
+    stats = result.solution.stats
+    print(
+        f"solved: work={stats.work}, final edges={stats.final_edges}, "
+        f"cycle variables eliminated={stats.vars_eliminated}\n"
+    )
+
+    print("Andersen points-to sets (non-empty):")
+    for location, targets in sorted(
+        result.graph.items(), key=lambda item: item[0].name
+    ):
+        if targets:
+            names = ", ".join(sorted(t.name for t in targets))
+            print(f"  {location.name:16s} -> {{{names}}}")
+
+    steensgaard = analyze_unit_steensgaard(parse(source, name))
+    print(
+        f"\nPrecision: Andersen avg set size "
+        f"{result.average_set_size():.2f}, Steensgaard "
+        f"{steensgaard.average_set_size():.2f} (coarser)"
+    )
+
+
+if __name__ == "__main__":
+    main()

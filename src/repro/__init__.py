@@ -1,0 +1,54 @@
+"""repro — Partial Online Cycle Elimination in Inclusion Constraint Graphs.
+
+A full reproduction of Fähndrich, Foster, Su & Aiken (PLDI 1998):
+
+* a set-constraint language with n-ary variance-aware constructors
+  (:mod:`repro.constraints`);
+* constraint-graph solvers in standard and inductive form with partial
+  online cycle elimination (:mod:`repro.graph`, :mod:`repro.solver`);
+* Andersen's points-to analysis for C on top of a from-scratch C
+  frontend (:mod:`repro.cfront`, :mod:`repro.andersen`), plus a
+  Steensgaard baseline;
+* synthetic benchmark workloads (:mod:`repro.workloads`);
+* the analytical random-graph model of Section 5 (:mod:`repro.model`);
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+"""
+
+from .constraints import (
+    ConstraintSystem,
+    Constructor,
+    ONE,
+    Term,
+    Var,
+    Variance,
+    ZERO,
+)
+from .graph import RandomOrder, SearchMode
+from .solver import (
+    CyclePolicy,
+    GraphForm,
+    Solution,
+    SolverOptions,
+    solve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintSystem",
+    "Constructor",
+    "CyclePolicy",
+    "GraphForm",
+    "ONE",
+    "RandomOrder",
+    "SearchMode",
+    "Solution",
+    "SolverOptions",
+    "Term",
+    "Var",
+    "Variance",
+    "ZERO",
+    "solve",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Closure analysis (0CFA) — the paper's Section 6 future-work client.
+
+Quick use::
+
+    from repro.cfa import analyze_cfa_source, solve_cfa
+
+    program = analyze_cfa_source("(let ((id (lambda (x) x))) (id id))")
+    result = solve_cfa(program)
+    result.closure_names_of(program.root)   # frozenset({'id'})
+"""
+
+from .analysis import (
+    CfaProgram,
+    CfaResult,
+    ClosureAnalysis,
+    analyze_cfa_source,
+    analyze_expr,
+    solve_cfa,
+)
+from .ast import App, Cons, Const, Expr, If0, Lam, Let, LetRec, Prim, Proj, Var
+from .parser import CfaParseError, parse_expr
+
+__all__ = [
+    "App",
+    "CfaParseError",
+    "CfaProgram",
+    "CfaResult",
+    "ClosureAnalysis",
+    "Cons",
+    "Const",
+    "Expr",
+    "If0",
+    "Lam",
+    "Let",
+    "LetRec",
+    "Prim",
+    "Proj",
+    "Var",
+    "analyze_cfa_source",
+    "analyze_expr",
+    "parse_expr",
+    "solve_cfa",
+]

@@ -1,0 +1,205 @@
+"""Set-constraint 0CFA (closure analysis) over the paper's solver.
+
+Constraint generation (standard set-based closure analysis, e.g.
+Heintze's set-based analysis, the paper's [Hei92] lineage):
+
+* each expression ``e`` gets a cache variable ``C(e)`` — the set of
+  abstract values ``e`` may evaluate to;
+* each program variable ``x`` gets an environment variable ``r(x)``;
+* a lambda ``l = (lambda (x) body)`` contributes the source term
+  ``clos(l, r(x)̄, C(body))`` to its own cache — the parameter position
+  is contravariant (arguments flow *into* it), the result covariant;
+* an application ``(f a)`` adds ``C(f) <= clos(1, C(a)̄, C(e))`` so the
+  resolution rules wire every reaching closure's parameter and result.
+
+Recursive programs produce cyclic constraints (``letrec`` feeds a
+closure's own cache into its environment), which is exactly where
+online cycle elimination pays off — the "future work" the paper
+sketches in Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from ..constraints import ConstraintSystem, Term, Var as SetVar, Variance
+from ..solver import Solution, SolverOptions, solve
+from .ast import App, Cons, Const, Expr, If0, Lam, Let, LetRec, Prim, Proj, Var
+
+
+class CfaProgram:
+    """Generated constraints plus the maps needed to read results."""
+
+    def __init__(
+        self,
+        system: ConstraintSystem,
+        cache: Dict[int, SetVar],
+        lambdas: Dict[int, Lam],
+        root: Expr,
+    ) -> None:
+        self.system = system
+        self.cache = cache
+        self.lambdas = lambdas
+        self.root = root
+
+
+class CfaResult:
+    """Queries over a solved closure analysis."""
+
+    def __init__(self, program: CfaProgram, solution: Solution) -> None:
+        self.program = program
+        self.solution = solution
+
+    def closures_of(self, expr: Expr) -> FrozenSet[Lam]:
+        """Which lambdas may ``expr`` evaluate to."""
+        cache_var = self.program.cache[expr.label]
+        out = set()
+        for term in self.solution.least_solution(cache_var):
+            if isinstance(term.label, int):
+                lam = self.program.lambdas.get(term.label)
+                if lam is not None:
+                    out.add(lam)
+        return frozenset(out)
+
+    def closure_names_of(self, expr: Expr) -> FrozenSet[str]:
+        return frozenset(lam.name for lam in self.closures_of(expr))
+
+    def call_targets(self) -> Dict[int, FrozenSet[str]]:
+        """For every application node: the reaching closure names."""
+        out: Dict[int, FrozenSet[str]] = {}
+        stack: List[Expr] = [self.program.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, App):
+                out[node.label] = self.closure_names_of(node.function)
+            stack.extend(node.children())
+        return out
+
+
+class ClosureAnalysis:
+    """Generate 0CFA constraints for one program."""
+
+    def __init__(self) -> None:
+        self.system = ConstraintSystem("cfa")
+        cov, con = Variance.COVARIANT, Variance.CONTRAVARIANT
+        self.clos = self.system.constructor("clos", (cov, con, cov))
+        self.pair = self.system.constructor("pair", (cov, cov))
+        self.tag = self.system.constructor("lamtag", ())
+        self.cache: Dict[int, SetVar] = {}
+        self.lambdas: Dict[int, Lam] = {}
+        self._env: List[Dict[str, SetVar]] = [{}]
+
+    # ------------------------------------------------------------------
+    def analyze(self, root: Expr) -> CfaProgram:
+        self._generate(root)
+        return CfaProgram(self.system, self.cache, self.lambdas, root)
+
+    # ------------------------------------------------------------------
+    def _cache_of(self, expr: Expr) -> SetVar:
+        var = self.cache.get(expr.label)
+        if var is None:
+            var = self.system.fresh_var(f"C{expr.label}")
+            self.cache[expr.label] = var
+        return var
+
+    def _lookup(self, name: str) -> Optional[SetVar]:
+        for frame in reversed(self._env):
+            if name in frame:
+                return frame[name]
+        return None
+
+    def _bind(self, name: str) -> SetVar:
+        var = self.system.fresh_var(f"r[{name}]")
+        self._env[-1][name] = var
+        return var
+
+    # ------------------------------------------------------------------
+    def _generate(self, expr: Expr) -> SetVar:
+        cache = self._cache_of(expr)
+        if isinstance(expr, Const):
+            pass  # integers carry no closures
+        elif isinstance(expr, Var):
+            env_var = self._lookup(expr.name)
+            if env_var is not None:
+                self.system.add(env_var, cache)
+        elif isinstance(expr, Lam):
+            self.lambdas[expr.label] = expr
+            self._env.append({})
+            param_var = self._bind(expr.param)
+            body_cache = self._generate(expr.body)
+            self._env.pop()
+            label_term = Term(self.tag, (), label=expr.label)
+            closure = Term(
+                self.clos,
+                (label_term, param_var, body_cache),
+                label=expr.label,
+            )
+            self.system.add(closure, cache)
+        elif isinstance(expr, App):
+            function_cache = self._generate(expr.function)
+            argument_cache = self._generate(expr.argument)
+            sink = Term(
+                self.clos, (self.system.one, argument_cache, cache)
+            )
+            self.system.add(function_cache, sink)
+        elif isinstance(expr, Let):
+            value_cache = self._generate(expr.value)
+            self._env.append({})
+            bound = self._bind(expr.name)
+            self.system.add(value_cache, bound)
+            body_cache = self._generate(expr.body)
+            self._env.pop()
+            self.system.add(body_cache, cache)
+        elif isinstance(expr, LetRec):
+            self._env.append({})
+            bound = self._bind(expr.name)
+            value_cache = self._generate(expr.value)  # f visible inside
+            self.system.add(value_cache, bound)
+            body_cache = self._generate(expr.body)
+            self._env.pop()
+            self.system.add(body_cache, cache)
+        elif isinstance(expr, If0):
+            self._generate(expr.condition)
+            then_cache = self._generate(expr.then_branch)
+            else_cache = self._generate(expr.else_branch)
+            self.system.add(then_cache, cache)
+            self.system.add(else_cache, cache)
+        elif isinstance(expr, Cons):
+            head_cache = self._generate(expr.head)
+            tail_cache = self._generate(expr.tail)
+            self.system.add(
+                Term(self.pair, (head_cache, tail_cache)), cache
+            )
+        elif isinstance(expr, Proj):
+            pair_cache = self._generate(expr.pair)
+            if expr.which == "car":
+                sink = Term(self.pair, (cache, self.system.one))
+            else:
+                sink = Term(self.pair, (self.system.one, cache))
+            self.system.add(pair_cache, sink)
+        elif isinstance(expr, Prim):
+            self._generate(expr.left)
+            self._generate(expr.right)
+        else:
+            raise TypeError(f"unexpected expression {expr!r}")
+        return cache
+
+
+# ----------------------------------------------------------------------
+def analyze_expr(root: Expr) -> CfaProgram:
+    """Generate 0CFA constraints for a parsed expression."""
+    return ClosureAnalysis().analyze(root)
+
+
+def analyze_cfa_source(source: str) -> CfaProgram:
+    """Parse mini-language source and generate constraints."""
+    from .parser import parse_expr
+
+    return analyze_expr(parse_expr(source))
+
+
+def solve_cfa(program: CfaProgram,
+              options: Optional[SolverOptions] = None) -> CfaResult:
+    """Solve the constraints and wrap the closure-analysis view."""
+    solution = solve(program.system, options or SolverOptions())
+    return CfaResult(program, solution)

@@ -1,0 +1,198 @@
+"""A miniature functional language for closure analysis.
+
+The paper's Section 6 closes with: "We plan to study the impact of
+online cycle elimination on the performance of closure analysis in
+future work."  This package implements that client: a small untyped
+lambda calculus with let/letrec/if0 and arithmetic, analyzed by a
+set-constraint 0CFA over the same solver the points-to analysis uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+_label_counter = itertools.count()
+
+
+class Expr:
+    """Base class; every expression node carries a unique label."""
+
+    __slots__ = ("label",)
+
+    def __init__(self) -> None:
+        self.label = next(_label_counter)
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def count_nodes(self) -> int:
+        total = 0
+        stack: List[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children())
+        return total
+
+
+class Var(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        super().__init__()
+        self.value = value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Lam(Expr):
+    """``(lambda (param) body)`` — the interesting value former."""
+
+    __slots__ = ("param", "body", "name")
+
+    def __init__(self, param: str, body: Expr, name: str = "") -> None:
+        super().__init__()
+        self.param = param
+        self.body = body
+        #: diagnostic name, e.g. the let-binding that introduced it
+        self.name = name or f"lam@{self.label}"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"(lambda ({self.param}) {self.body})"
+
+
+class App(Expr):
+    __slots__ = ("function", "argument")
+
+    def __init__(self, function: Expr, argument: Expr) -> None:
+        super().__init__()
+        self.function = function
+        self.argument = argument
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.function, self.argument)
+
+    def __str__(self) -> str:
+        return f"({self.function} {self.argument})"
+
+
+class Let(Expr):
+    __slots__ = ("name", "value", "body")
+
+    def __init__(self, name: str, value: Expr, body: Expr) -> None:
+        super().__init__()
+        self.name = name
+        self.value = value
+        self.body = body
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.value, self.body)
+
+    def __str__(self) -> str:
+        return f"(let (({self.name} {self.value})) {self.body})"
+
+
+class LetRec(Expr):
+    """``(letrec ((f (lambda ...)))) body)`` — recursive binding."""
+
+    __slots__ = ("name", "value", "body")
+
+    def __init__(self, name: str, value: Expr, body: Expr) -> None:
+        super().__init__()
+        self.name = name
+        self.value = value
+        self.body = body
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.value, self.body)
+
+    def __str__(self) -> str:
+        return f"(letrec (({self.name} {self.value})) {self.body})"
+
+
+class If0(Expr):
+    __slots__ = ("condition", "then_branch", "else_branch")
+
+    def __init__(self, condition: Expr, then_branch: Expr,
+                 else_branch: Expr) -> None:
+        super().__init__()
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.condition, self.then_branch, self.else_branch)
+
+    def __str__(self) -> str:
+        return (f"(if0 {self.condition} {self.then_branch} "
+                f"{self.else_branch})")
+
+
+class Cons(Expr):
+    """``(cons e1 e2)`` — a pair value."""
+
+    __slots__ = ("head", "tail")
+
+    def __init__(self, head: Expr, tail: Expr) -> None:
+        super().__init__()
+        self.head = head
+        self.tail = tail
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.head, self.tail)
+
+    def __str__(self) -> str:
+        return f"(cons {self.head} {self.tail})"
+
+
+class Proj(Expr):
+    """``(car e)`` or ``(cdr e)`` — pair projection."""
+
+    __slots__ = ("which", "pair")
+
+    def __init__(self, which: str, pair: Expr) -> None:
+        super().__init__()
+        if which not in ("car", "cdr"):
+            raise ValueError(f"bad projection {which!r}")
+        self.which = which
+        self.pair = pair
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.pair,)
+
+    def __str__(self) -> str:
+        return f"({self.which} {self.pair})"
+
+
+class Prim(Expr):
+    """Primitive arithmetic ``(+ a b)`` etc. — no closures produced."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        super().__init__()
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.left} {self.right})"

@@ -1,0 +1,120 @@
+"""An s-expression reader for the mini functional language.
+
+Grammar::
+
+    e ::= NAME | INTEGER
+        | (lambda (NAME) e)
+        | (let ((NAME e)) e)
+        | (letrec ((NAME e)) e)
+        | (if0 e e e)
+        | (+ e e) | (- e e) | (* e e)
+        | (e e)                          ; application
+
+Multi-argument lambdas/applications are curried automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from .ast import App, Cons, Const, Expr, If0, Lam, Let, LetRec, Prim, Proj, Var
+
+_PRIMS = ("+", "-", "*")
+
+SExpr = Union[str, List["SExpr"]]
+
+
+class CfaParseError(Exception):
+    """Malformed mini-language input."""
+
+
+def _tokenize(source: str) -> List[str]:
+    return (
+        source.replace("(", " ( ").replace(")", " ) ").split()
+    )
+
+
+def _read(tokens: List[str], position: int) -> Tuple[SExpr, int]:
+    if position >= len(tokens):
+        raise CfaParseError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items: List[SExpr] = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _read(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise CfaParseError("missing ')'")
+        return items, position + 1
+    if token == ")":
+        raise CfaParseError("unexpected ')'")
+    return token, position + 1
+
+
+def _build(sexpr: SExpr) -> Expr:
+    if isinstance(sexpr, str):
+        try:
+            return Const(int(sexpr))
+        except ValueError:
+            return Var(sexpr)
+    if not sexpr:
+        raise CfaParseError("empty application")
+    head = sexpr[0]
+    if head == "lambda":
+        if len(sexpr) != 3 or not isinstance(sexpr[1], list):
+            raise CfaParseError("lambda needs (lambda (params...) body)")
+        params = sexpr[1]
+        if not params:
+            raise CfaParseError("lambda needs at least one parameter")
+        body = _build(sexpr[2])
+        for param in reversed(params):
+            if not isinstance(param, str):
+                raise CfaParseError("parameters must be names")
+            body = Lam(param, body)
+        return body
+    if head in ("let", "letrec"):
+        if (
+            len(sexpr) != 3
+            or not isinstance(sexpr[1], list)
+            or len(sexpr[1]) != 1
+            or not isinstance(sexpr[1][0], list)
+            or len(sexpr[1][0]) != 2
+        ):
+            raise CfaParseError(f"{head} needs (({head} ((x e)) body)")
+        (name, value_sexpr), body_sexpr = sexpr[1][0], sexpr[2]
+        if not isinstance(name, str):
+            raise CfaParseError("binding name must be an identifier")
+        value = _build(value_sexpr)
+        if isinstance(value, Lam) and not value.name.startswith(name):
+            value.name = name
+        body = _build(body_sexpr)
+        cls = Let if head == "let" else LetRec
+        return cls(name, value, body)
+    if head == "if0":
+        if len(sexpr) != 4:
+            raise CfaParseError("if0 needs three operands")
+        return If0(*(_build(part) for part in sexpr[1:]))
+    if head == "cons" and len(sexpr) == 3:
+        return Cons(_build(sexpr[1]), _build(sexpr[2]))
+    if head in ("car", "cdr") and len(sexpr) == 2:
+        return Proj(head, _build(sexpr[1]))
+    if head in _PRIMS and len(sexpr) == 3:
+        return Prim(head, _build(sexpr[1]), _build(sexpr[2]))
+    # Application; curry multi-argument calls.
+    parts = [_build(part) for part in sexpr]
+    expr = parts[0]
+    if len(parts) == 1:
+        raise CfaParseError("application needs an argument")
+    for argument in parts[1:]:
+        expr = App(expr, argument)
+    return expr
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse one mini-language expression."""
+    tokens = _tokenize(source)
+    sexpr, position = _read(tokens, 0)
+    if position != len(tokens):
+        raise CfaParseError("trailing input after expression")
+    return _build(sexpr)

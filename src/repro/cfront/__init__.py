@@ -1,0 +1,28 @@
+"""A from-scratch frontend for the C subset the benchmarks use.
+
+Provides lexing (:mod:`repro.cfront.lexer`), parsing
+(:mod:`repro.cfront.parser`), a small type layer
+(:mod:`repro.cfront.types`), and a pretty-printer
+(:mod:`repro.cfront.pretty`).  The AST node-count method implements the
+"AST Nodes" program-size metric of paper Table 1.
+"""
+
+from . import ast, types
+from .errors import CFrontError, LexError, ParseError
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .pretty import pretty_print, type_to_str
+
+__all__ = [
+    "CFrontError",
+    "Lexer",
+    "LexError",
+    "ParseError",
+    "Parser",
+    "ast",
+    "parse",
+    "pretty_print",
+    "tokenize",
+    "type_to_str",
+    "types",
+]

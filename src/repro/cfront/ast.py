@@ -1,0 +1,405 @@
+"""Abstract syntax tree for the C subset.
+
+Nodes are plain dataclasses.  ``Node.count_nodes`` implements the
+"AST Nodes" size metric of paper Table 1 (every expression, statement,
+declaration, and definition node counts as one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .types import CType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Node", ...]:
+        """Direct child nodes (used by generic traversals)."""
+        return ()
+
+    def count_nodes(self) -> int:
+        """Total number of AST nodes in this subtree (iterative)."""
+        total = 0
+        stack: List[Node] = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children())
+        return total
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr(Node):
+    __slots__ = ()
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class IntLit(Expr):
+    text: str
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class FloatLit(Expr):
+    text: str
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class CharLit(Expr):
+    text: str
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class StringLit(Expr):
+    text: str
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix unary: one of ``* & - + ! ~ ++ --``."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+@dataclass
+class Postfix(Expr):
+    """Postfix ``++`` or ``--``."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class Assign(Expr):
+    """``lhs op rhs`` where op is ``=`` or a compound assignment."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.target, self.value)
+
+
+@dataclass
+class Conditional(Expr):
+    condition: Expr
+    then_value: Expr
+    else_value: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.condition, self.then_value, self.else_value)
+
+
+@dataclass
+class Call(Expr):
+    function: Expr
+    args: List[Expr] = field(default_factory=list)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.function, *self.args)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.base, self.index)
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Expr
+    name: str
+    arrow: bool
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.base,)
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType
+    operand: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+@dataclass
+class SizeOf(Expr):
+    """``sizeof expr`` or ``sizeof(type)`` (operand is None for types)."""
+
+    operand: Optional[Expr] = None
+    type_operand: Optional[CType] = None
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,) if self.operand is not None else ()
+
+
+@dataclass
+class Comma(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.left, self.right)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Stmt(Node):
+    __slots__ = ()
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr]
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.expr,) if self.expr is not None else ()
+
+
+@dataclass
+class Compound(Stmt):
+    items: List[Node] = field(default_factory=list)  # Stmt or Decl
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.items)
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt] = None
+
+    def children(self) -> Tuple[Node, ...]:
+        kids = [self.condition, self.then_branch]
+        if self.else_branch is not None:
+            kids.append(self.else_branch)
+        return tuple(kids)
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: Stmt
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.condition, self.body)
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    condition: Expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.body, self.condition)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Node]  # ExprStmt-like Expr, or Decl
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+    def children(self) -> Tuple[Node, ...]:
+        kids = [k for k in (self.init, self.condition, self.step) if k]
+        kids.append(self.body)
+        return tuple(kids)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.value,) if self.value is not None else ()
+
+
+@dataclass
+class Break(Stmt):
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class Continue(Stmt):
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class Label(Stmt):
+    """``name: stmt`` — a goto target."""
+
+    name: str
+    body: "Stmt"
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.body,)
+
+
+@dataclass
+class Goto(Stmt):
+    name: str
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class Switch(Stmt):
+    condition: Expr
+    body: Stmt
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.condition, self.body)
+
+
+@dataclass
+class Case(Stmt):
+    """``case expr:`` or ``default:`` (value None) with trailing stmt."""
+
+    value: Optional[Expr]
+    body: Stmt
+
+    def children(self) -> Tuple[Node, ...]:
+        kids = [] if self.value is None else [self.value]
+        kids.append(self.body)
+        return tuple(kids)
+
+
+# ----------------------------------------------------------------------
+# Declarations and definitions
+# ----------------------------------------------------------------------
+@dataclass
+class Decl(Node):
+    """One declarator: ``type name [= init]``.
+
+    ``storage`` carries ``typedef/static/extern`` when present.
+    """
+
+    name: str
+    type: CType
+    init: Optional[Node] = None  # Expr or InitList
+    storage: Optional[str] = None
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.init,) if self.init is not None else ()
+
+
+@dataclass
+class InitList(Node):
+    """A braced initializer ``{ a, b, ... }``."""
+
+    items: List[Node] = field(default_factory=list)
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.items)
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str  # may be "" for abstract declarators
+    type: CType
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    type: CType  # a types.Function
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Compound = field(default_factory=Compound)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (*self.params, self.body)
+
+
+@dataclass
+class RecordDef(Node):
+    """A struct/union definition appearing at file or block scope."""
+
+    kind: str
+    tag: str
+    members: List[Decl] = field(default_factory=list)
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.members)
+
+
+@dataclass
+class EnumDef(Node):
+    tag: str
+    enumerators: List[str] = field(default_factory=list)
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole source file."""
+
+    items: List[Node] = field(default_factory=list)
+    filename: str = "<input>"
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.items)
+
+    def functions(self) -> List[FunctionDef]:
+        return [item for item in self.items if isinstance(item, FunctionDef)]

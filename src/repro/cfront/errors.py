@@ -1,0 +1,21 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class CFrontError(Exception):
+    """Base class for lexer/parser errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexError(CFrontError):
+    """Malformed input at the character level."""
+
+
+class ParseError(CFrontError):
+    """Unexpected token sequence."""

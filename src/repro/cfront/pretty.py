@@ -1,0 +1,236 @@
+"""AST -> C source pretty-printer.
+
+Used by tests (parse/print round trips) and for debugging generated
+workloads.  Output is valid C for every AST the parser produces; it is
+not a formatter, just a faithful serializer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+from .types import Array, CType, Function, Pointer
+
+
+def type_to_str(ctype: CType, declarator: str = "") -> str:
+    """Render ``ctype`` around ``declarator`` using C's inside-out syntax."""
+    if isinstance(ctype, Pointer):
+        inner = f"*{declarator}"
+        if isinstance(ctype.target, (Array, Function)):
+            inner = f"({inner})"
+        return type_to_str(ctype.target, inner)
+    if isinstance(ctype, Array):
+        size = "" if ctype.size is None else str(ctype.size)
+        return type_to_str(ctype.element, f"{declarator}[{size}]")
+    if isinstance(ctype, Function):
+        params = ", ".join(type_to_str(p) for p in ctype.params)
+        if ctype.variadic:
+            params = f"{params}, ..." if params else "..."
+        if not params:
+            params = "void"
+        return type_to_str(ctype.returns, f"{declarator}({params})")
+    base = str(ctype)
+    return f"{base} {declarator}".rstrip()
+
+
+class PrettyPrinter:
+    """Stateful printer with indentation tracking."""
+
+    def __init__(self, indent: str = "    ") -> None:
+        self.indent_unit = indent
+        self.lines: List[str] = []
+        self.depth = 0
+
+    # ------------------------------------------------------------------
+    def print_unit(self, unit: ast.TranslationUnit) -> str:
+        """Serialize a whole translation unit to C source text."""
+        for item in unit.items:
+            self._top_level(item)
+        return "\n".join(self.lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def _emit(self, text: str) -> None:
+        self.lines.append(f"{self.indent_unit * self.depth}{text}")
+
+    def _top_level(self, item: ast.Node) -> None:
+        if isinstance(item, ast.FunctionDef):
+            self._function(item)
+        elif isinstance(item, ast.Decl):
+            self._emit(self._decl_text(item) + ";")
+        elif isinstance(item, ast.RecordDef):
+            self._record(item)
+        elif isinstance(item, ast.EnumDef):
+            body = ", ".join(item.enumerators)
+            self._emit(f"enum {item.tag} {{ {body} }};")
+        else:
+            raise TypeError(f"unexpected top-level node {item!r}")
+
+    def _record(self, record: ast.RecordDef) -> None:
+        self._emit(f"{record.kind} {record.tag} {{")
+        self.depth += 1
+        for member in record.members:
+            self._emit(type_to_str(member.type, member.name) + ";")
+        self.depth -= 1
+        self._emit("};")
+
+    def _function(self, function: ast.FunctionDef) -> None:
+        assert isinstance(function.type, Function)
+        params = ", ".join(
+            type_to_str(p.type, p.name) for p in function.params
+        )
+        if not params:
+            params = "void"
+        header = type_to_str(
+            function.type.returns, f"{function.name}({params})"
+        )
+        self._emit(header)
+        self._compound(function.body)
+
+    def _decl_text(self, decl: ast.Decl) -> str:
+        prefix = f"{decl.storage} " if decl.storage else ""
+        text = prefix + type_to_str(decl.type, decl.name)
+        if decl.init is not None:
+            text += f" = {self._init_text(decl.init)}"
+        return text
+
+    def _init_text(self, init: ast.Node) -> str:
+        if isinstance(init, ast.InitList):
+            inner = ", ".join(self._init_text(i) for i in init.items)
+            return f"{{ {inner} }}"
+        return self.expr(init)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _statement(self, stmt: ast.Node) -> None:
+        if isinstance(stmt, ast.Compound):
+            self._compound(stmt)
+        elif isinstance(stmt, ast.Decl):
+            self._emit(self._decl_text(stmt) + ";")
+        elif isinstance(stmt, ast.RecordDef):
+            self._record(stmt)
+        elif isinstance(stmt, ast.EnumDef):
+            body = ", ".join(stmt.enumerators)
+            self._emit(f"enum {stmt.tag} {{ {body} }};")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit((self.expr(stmt.expr) if stmt.expr else "") + ";")
+        elif isinstance(stmt, ast.If):
+            self._emit(f"if ({self.expr(stmt.condition)})")
+            self._block_or_stmt(stmt.then_branch)
+            if stmt.else_branch is not None:
+                self._emit("else")
+                self._block_or_stmt(stmt.else_branch)
+        elif isinstance(stmt, ast.While):
+            self._emit(f"while ({self.expr(stmt.condition)})")
+            self._block_or_stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._emit("do")
+            self._block_or_stmt(stmt.body)
+            self._emit(f"while ({self.expr(stmt.condition)});")
+        elif isinstance(stmt, ast.For):
+            init = ""
+            if isinstance(stmt.init, ast.Compound):
+                # Declaration in for-init: print inline without braces.
+                init = "; ".join(
+                    self._decl_text(d)
+                    for d in stmt.init.items
+                    if isinstance(d, ast.Decl)
+                )
+            elif stmt.init is not None:
+                init = self.expr(stmt.init)
+            condition = self.expr(stmt.condition) if stmt.condition else ""
+            step = self.expr(stmt.step) if stmt.step else ""
+            self._emit(f"for ({init}; {condition}; {step})")
+            self._block_or_stmt(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self._emit("return;")
+            else:
+                self._emit(f"return {self.expr(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self._emit("break;")
+        elif isinstance(stmt, ast.Continue):
+            self._emit("continue;")
+        elif isinstance(stmt, ast.Switch):
+            self._emit(f"switch ({self.expr(stmt.condition)})")
+            self._block_or_stmt(stmt.body)
+        elif isinstance(stmt, ast.Label):
+            self._emit(f"{stmt.name}:")
+            self._block_or_stmt(stmt.body)
+        elif isinstance(stmt, ast.Goto):
+            self._emit(f"goto {stmt.name};")
+        elif isinstance(stmt, ast.Case):
+            label = (
+                "default:" if stmt.value is None
+                else f"case {self.expr(stmt.value)}:"
+            )
+            self._emit(label)
+            self._block_or_stmt(stmt.body)
+        else:
+            raise TypeError(f"unexpected statement {stmt!r}")
+
+    def _compound(self, block: ast.Compound) -> None:
+        self._emit("{")
+        self.depth += 1
+        for item in block.items:
+            self._statement(item)
+        self.depth -= 1
+        self._emit("}")
+
+    def _block_or_stmt(self, stmt: ast.Node) -> None:
+        if isinstance(stmt, ast.Compound):
+            self._compound(stmt)
+        else:
+            self.depth += 1
+            self._statement(stmt)
+            self.depth -= 1
+
+    # ------------------------------------------------------------------
+    # Expressions (fully parenthesized to sidestep precedence questions)
+    # ------------------------------------------------------------------
+    def expr(self, node: ast.Expr) -> str:
+        """Serialize one expression (fully parenthesized)."""
+        if isinstance(node, ast.Ident):
+            return node.name
+        if isinstance(node, (ast.IntLit, ast.FloatLit, ast.CharLit,
+                             ast.StringLit)):
+            return node.text
+        if isinstance(node, ast.Unary):
+            return f"({node.op}{self.expr(node.operand)})"
+        if isinstance(node, ast.Postfix):
+            return f"({self.expr(node.operand)}{node.op})"
+        if isinstance(node, ast.Binary):
+            return f"({self.expr(node.left)} {node.op} {self.expr(node.right)})"
+        if isinstance(node, ast.Assign):
+            return (
+                f"{self.expr(node.target)} {node.op} {self.expr(node.value)}"
+            )
+        if isinstance(node, ast.Conditional):
+            return (
+                f"({self.expr(node.condition)} ? "
+                f"{self.expr(node.then_value)} : "
+                f"{self.expr(node.else_value)})"
+            )
+        if isinstance(node, ast.Call):
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"{self.expr(node.function)}({args})"
+        if isinstance(node, ast.Index):
+            return f"{self.expr(node.base)}[{self.expr(node.index)}]"
+        if isinstance(node, ast.Member):
+            op = "->" if node.arrow else "."
+            return f"{self.expr(node.base)}{op}{node.name}"
+        if isinstance(node, ast.Cast):
+            return f"(({type_to_str(node.target_type)}){self.expr(node.operand)})"
+        if isinstance(node, ast.SizeOf):
+            if node.operand is not None:
+                return f"sizeof({self.expr(node.operand)})"
+            return f"sizeof({type_to_str(node.type_operand)})"
+        if isinstance(node, ast.Comma):
+            return f"({self.expr(node.left)}, {self.expr(node.right)})"
+        raise TypeError(f"unexpected expression {node!r}")
+
+
+def pretty_print(unit: ast.TranslationUnit) -> str:
+    """Serialize a translation unit back to C source."""
+    return PrettyPrinter().print_unit(unit)

@@ -1,0 +1,138 @@
+"""A minimal C type representation.
+
+Andersen's analysis is type-directed only in a few places (function
+decay, whether an expression is a function call through a pointer), so
+the type layer is deliberately small: enough structure to answer
+"is this a pointer / array / function / struct?" after typedef
+resolution, without sizes or qualifiers beyond what's parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class CType:
+    """Abstract base for all C types."""
+
+    __slots__ = ()
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, Pointer)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, Array)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, Function)
+
+    def decayed(self) -> "CType":
+        """Array-to-pointer and function-to-pointer decay."""
+        if isinstance(self, Array):
+            return Pointer(self.element)
+        if isinstance(self, Function):
+            return Pointer(self)
+        return self
+
+
+@dataclass(frozen=True)
+class Void(CType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class Scalar(CType):
+    """Any arithmetic type; ``name`` is the normalized spelling."""
+
+    name: str = "int"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Pointer(CType):
+    target: CType
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True)
+class Array(CType):
+    element: CType
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        inner = "" if self.size is None else str(self.size)
+        return f"{self.element}[{inner}]"
+
+
+@dataclass(frozen=True)
+class Function(CType):
+    returns: CType
+    params: Tuple[CType, ...] = ()
+    variadic: bool = False
+
+    def __str__(self) -> str:
+        params = ",".join(str(p) for p in self.params)
+        dots = ",..." if self.variadic else ""
+        return f"{self.returns}({params}{dots})"
+
+
+@dataclass(frozen=True)
+class Record(CType):
+    """A struct or union; fields may be absent for opaque references."""
+
+    kind: str  # "struct" or "union"
+    tag: str
+    #: field name -> type; None for a forward/opaque reference
+    fields: Optional[Tuple[Tuple[str, CType], ...]] = None
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.tag}"
+
+    def field_type(self, name: str) -> Optional[CType]:
+        if self.fields is None:
+            return None
+        for field_name, field_ty in self.fields:
+            if field_name == name:
+                return field_ty
+        return None
+
+
+@dataclass(frozen=True)
+class EnumType(CType):
+    tag: str
+
+    def __str__(self) -> str:
+        return f"enum {self.tag}"
+
+
+#: Singletons for the common cases.
+VOID = Void()
+INT = Scalar("int")
+CHAR = Scalar("char")
+DOUBLE = Scalar("double")
+
+
+class TypeEnvironment:
+    """Typedef and record-tag tables built up during parsing."""
+
+    def __init__(self) -> None:
+        self.typedefs: Dict[str, CType] = {}
+        self.records: Dict[str, Record] = {}
+
+    def is_typedef_name(self, name: str) -> bool:
+        return name in self.typedefs
+
+    def resolve(self, ctype: CType) -> CType:
+        """Resolve typedef names and opaque record tags one level deep."""
+        if isinstance(ctype, Record) and ctype.fields is None:
+            return self.records.get(f"{ctype.kind} {ctype.tag}", ctype)
+        return ctype

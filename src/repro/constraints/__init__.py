@@ -1,0 +1,58 @@
+"""The set-constraint language of the paper (Section 2.1).
+
+Public surface::
+
+    ConstraintSystem   -- builder for variables, constructors, constraints
+    Variance           -- argument variance (co-/contravariant)
+    Constructor        -- an n-ary constructor with a signature
+    Var, Term          -- set expressions
+    ZERO, ONE          -- the empty and universal sets (nullary terms)
+    decompose_pair     -- the resolution rules R as a pure function
+"""
+
+from .constructors import Constructor, ONE_CONSTRUCTOR, ZERO_CONSTRUCTOR
+from .errors import (
+    ConstraintDiagnostic,
+    ConstraintError,
+    InconsistentConstraintError,
+    MalformedExpressionError,
+    SignatureError,
+)
+from .expressions import ONE, ZERO, SetExpression, Term, Var, variables_of
+from .resolution import (
+    Atomic,
+    SOURCE_VAR,
+    VAR_SINK,
+    VAR_VAR,
+    decompose,
+    decompose_pair,
+)
+from .system import ConstraintSystem
+from .variance import COVARIANT, CONTRAVARIANT, Variance
+
+__all__ = [
+    "Atomic",
+    "COVARIANT",
+    "CONTRAVARIANT",
+    "Constructor",
+    "ConstraintDiagnostic",
+    "ConstraintError",
+    "ConstraintSystem",
+    "InconsistentConstraintError",
+    "MalformedExpressionError",
+    "ONE",
+    "ONE_CONSTRUCTOR",
+    "SOURCE_VAR",
+    "SetExpression",
+    "SignatureError",
+    "Term",
+    "VAR_SINK",
+    "VAR_VAR",
+    "Var",
+    "Variance",
+    "ZERO",
+    "ZERO_CONSTRUCTOR",
+    "decompose",
+    "decompose_pair",
+    "variables_of",
+]

@@ -1,0 +1,53 @@
+"""Exceptions and diagnostics for the set-constraint system.
+
+Resolution of inclusion constraints can discover *inconsistencies*
+(e.g. ``c(...) <= d(...)`` for distinct constructors ``c`` and ``d``).
+A batch analysis such as points-to analysis over possibly ill-typed C
+should not abort on the first such clash, so the solver records
+:class:`ConstraintDiagnostic` values and keeps going.  Callers that want
+hard failures can use :meth:`repro.solver.Solution.raise_on_errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class ConstraintError(Exception):
+    """Base class for all errors raised by the constraint machinery."""
+
+
+class SignatureError(ConstraintError):
+    """A constructor was applied with the wrong number of arguments."""
+
+
+class MalformedExpressionError(ConstraintError):
+    """A set expression was built from unsupported pieces."""
+
+
+class InconsistentConstraintError(ConstraintError):
+    """Raised when the caller asked for strict handling of clashes."""
+
+    def __init__(self, diagnostic: "ConstraintDiagnostic") -> None:
+        super().__init__(str(diagnostic))
+        self.diagnostic = diagnostic
+
+
+@dataclass(frozen=True)
+class ConstraintDiagnostic:
+    """A non-fatal inconsistency found during resolution.
+
+    Attributes:
+        kind: machine-readable tag, e.g. ``"constructor-clash"`` or
+            ``"nonempty-in-zero"``.
+        left: the left-hand set expression of the offending constraint.
+        right: the right-hand set expression.
+    """
+
+    kind: str
+    left: Any
+    right: Any
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.left} <= {self.right}"

@@ -1,0 +1,105 @@
+"""The resolution rules ``R`` (paper Figure 1).
+
+These rules rewrite an arbitrary inclusion ``L <= R`` into *atomic*
+constraints of the three forms the graph representations store:
+
+====================  =========================================
+``X <= Y``            variable-variable constraint  (``VAR_VAR``)
+``c(...) <= X``       source-variable constraint    (``SOURCE_VAR``)
+``X <= c(...)``       variable-sink constraint      (``VAR_SINK``)
+====================  =========================================
+
+The structural rule decomposes ``c(l_1..l_n) <= c(r_1..r_n)`` into
+argument constraints oriented by variance.  Trivial constraints
+(``0 <= se`` and ``se <= 1``) are dropped.  Clashes between distinct
+constructors — including ``c(...) <= 0`` and ``1 <= c(...)`` — are
+reported as :class:`~repro.constraints.errors.ConstraintDiagnostic`
+values rather than raised, so resolution of an ill-typed input can
+continue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .errors import ConstraintDiagnostic, MalformedExpressionError
+from .expressions import SetExpression, Term, Var
+
+#: Tag for an atomic ``X <= Y`` constraint: ``(VAR_VAR, X, Y)``.
+VAR_VAR = "vv"
+#: Tag for an atomic ``c(...) <= X`` constraint: ``(SOURCE_VAR, term, X)``.
+SOURCE_VAR = "sv"
+#: Tag for an atomic ``X <= c(...)`` constraint: ``(VAR_SINK, X, term)``.
+VAR_SINK = "vs"
+
+#: An atomic constraint as produced by :func:`decompose`.
+Atomic = Tuple[str, object, object]
+
+
+def decompose(
+    left: SetExpression,
+    right: SetExpression,
+    atoms: List[Atomic],
+    diagnostics: List[ConstraintDiagnostic],
+) -> None:
+    """Rewrite ``left <= right`` into atomic constraints.
+
+    Appends atomic constraints to ``atoms`` and inconsistency reports to
+    ``diagnostics``.  Uses an explicit work stack so deeply nested terms
+    cannot overflow the Python recursion limit.
+    """
+    stack = [(left, right)]
+    while stack:
+        l, r = stack.pop()
+        if isinstance(l, Term) and l.is_zero:
+            continue  # 0 <= se : trivially true
+        if isinstance(r, Term) and r.is_one:
+            continue  # se <= 1 : trivially true
+        l_is_var = isinstance(l, Var)
+        r_is_var = isinstance(r, Var)
+        if l_is_var and r_is_var:
+            atoms.append((VAR_VAR, l, r))
+        elif l_is_var:
+            if not isinstance(r, Term):
+                raise MalformedExpressionError(f"bad sink expression {r!r}")
+            atoms.append((VAR_SINK, l, r))
+        elif r_is_var:
+            if not isinstance(l, Term):
+                raise MalformedExpressionError(f"bad source expression {l!r}")
+            atoms.append((SOURCE_VAR, l, r))
+        elif isinstance(l, Term) and isinstance(r, Term):
+            if l.constructor == r.constructor:
+                for variance, l_arg, r_arg in zip(
+                    l.constructor.signature, l.args, r.args
+                ):
+                    if variance.is_covariant:
+                        stack.append((l_arg, r_arg))
+                    else:
+                        stack.append((r_arg, l_arg))
+            else:
+                diagnostics.append(_clash(l, r))
+        else:
+            raise MalformedExpressionError(
+                f"cannot decompose {l!r} <= {r!r}"
+            )
+
+
+def _clash(left: Term, right: Term) -> ConstraintDiagnostic:
+    """Classify a constructor clash into a diagnostic kind."""
+    if right.is_zero:
+        kind = "nonempty-in-zero"
+    elif left.is_one:
+        kind = "one-in-constructed"
+    else:
+        kind = "constructor-clash"
+    return ConstraintDiagnostic(kind, left, right)
+
+
+def decompose_pair(
+    left: SetExpression, right: SetExpression
+) -> Tuple[List[Atomic], List[ConstraintDiagnostic]]:
+    """Convenience wrapper returning fresh lists (used by tests)."""
+    atoms: List[Atomic] = []
+    diagnostics: List[ConstraintDiagnostic] = []
+    decompose(left, right, atoms, diagnostics)
+    return atoms, diagnostics

@@ -1,0 +1,154 @@
+"""Constraint system builder — the public entry point for clients.
+
+A :class:`ConstraintSystem` accumulates variables, constructors, and raw
+inclusion constraints ``L <= R``.  It is a passive container: solving is
+performed by :func:`repro.solver.solve`, which may be invoked several
+times on one system with different options (this is exactly how the
+experiment harness runs the same constraints through all six
+configurations of paper Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .constructors import Constructor, ONE_CONSTRUCTOR, ZERO_CONSTRUCTOR
+from .errors import MalformedExpressionError, SignatureError
+from .expressions import ONE, ZERO, SetExpression, Term, Var
+from .variance import Variance
+
+
+class ConstraintSystem:
+    """A mutable collection of set variables and inclusion constraints."""
+
+    def __init__(self, name: str = "system") -> None:
+        self.name = name
+        self._constructors: Dict[str, Constructor] = {
+            ZERO_CONSTRUCTOR.name: ZERO_CONSTRUCTOR,
+            ONE_CONSTRUCTOR.name: ONE_CONSTRUCTOR,
+        }
+        self._vars: List[Var] = []
+        self._constraints: List[Tuple[SetExpression, SetExpression]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def constructor(
+        self,
+        name: str,
+        signature: Sequence[Variance] = (),
+    ) -> Constructor:
+        """Register (or look up) a constructor with the given signature.
+
+        Raises :class:`SignatureError` if ``name`` was previously
+        registered with a different signature.
+        """
+        signature = tuple(signature)
+        existing = self._constructors.get(name)
+        if existing is not None:
+            if existing.signature != signature:
+                raise SignatureError(
+                    f"constructor {name!r} already registered with "
+                    f"signature {existing.signature}, got {signature}"
+                )
+            return existing
+        made = Constructor(name, signature)
+        self._constructors[name] = made
+        return made
+
+    def fresh_var(self, name: str = "") -> Var:
+        """Create a fresh set variable with a deterministic index."""
+        var = Var(len(self._vars), name)
+        self._vars.append(var)
+        return var
+
+    def fresh_vars(self, count: int, prefix: str = "v") -> List[Var]:
+        """Create ``count`` fresh variables named ``prefix0..``."""
+        return [self.fresh_var(f"{prefix}{i}") for i in range(count)]
+
+    def term(
+        self,
+        constructor: Union[Constructor, str],
+        args: Sequence[SetExpression] = (),
+        label: object = None,
+    ) -> Term:
+        """Build a term, resolving a constructor name if necessary."""
+        if isinstance(constructor, str):
+            found = self._constructors.get(constructor)
+            if found is None:
+                raise SignatureError(
+                    f"unknown constructor {constructor!r}; register it "
+                    f"with ConstraintSystem.constructor first"
+                )
+            constructor = found
+        return Term(constructor, tuple(args), label)
+
+    def add(self, left: SetExpression, right: SetExpression) -> None:
+        """Record the inclusion constraint ``left <= right``."""
+        self._check_expr(left)
+        self._check_expr(right)
+        self._constraints.append((left, right))
+
+    def add_all(
+        self, pairs: Iterable[Tuple[SetExpression, SetExpression]]
+    ) -> None:
+        for left, right in pairs:
+            self.add(left, right)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def zero(self) -> Term:
+        return ZERO
+
+    @property
+    def one(self) -> Term:
+        return ONE
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    @property
+    def variables(self) -> Tuple[Var, ...]:
+        return tuple(self._vars)
+
+    @property
+    def constraints(self) -> Tuple[Tuple[SetExpression, SetExpression], ...]:
+        return tuple(self._constraints)
+
+    def var_by_index(self, index: int) -> Var:
+        return self._vars[index]
+
+    def find_var(self, name: str) -> Optional[Var]:
+        """Return the first variable with the given name, if any."""
+        for var in self._vars:
+            if var.name == name:
+                return var
+        return None
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstraintSystem({self.name!r}, vars={self.num_vars}, "
+            f"constraints={len(self._constraints)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr: SetExpression) -> None:
+        if isinstance(expr, Var):
+            if expr.index >= len(self._vars) or self._vars[expr.index] is not expr:
+                raise MalformedExpressionError(
+                    f"variable {expr!r} does not belong to this system"
+                )
+            return
+        if isinstance(expr, Term):
+            for arg in expr.args:
+                self._check_expr(arg)
+            return
+        raise MalformedExpressionError(f"not a set expression: {expr!r}")

@@ -1,0 +1,132 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments table2 --suite quick
+    python -m repro.experiments all --suite medium
+    python -m repro.experiments model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..model import (
+    simulate_reachable,
+    simulate_work,
+    expected_work_if,
+    expected_work_sf,
+    theorem_5_1_ratio,
+    theorem_5_2_bound,
+)
+from . import (
+    SuiteResults,
+    export_results_json,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_figure11,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    oracle_work_ratio,
+)
+
+_TARGETS = (
+    "table1", "table2", "table3", "table4",
+    "figure7", "figure8", "figure9", "figure10", "figure11",
+    "model", "all", "json",
+)
+
+
+def _render_model() -> str:
+    lines = ["Section 5 analytical model"]
+    for n in (1000, 10000, 100000, 1000000):
+        lines.append(
+            f"  Theorem 5.1 ratio at n={n}: {theorem_5_1_ratio(n):.3f} "
+            "(paper: -> ~2.5)"
+        )
+    lines.append(
+        f"  Theorem 5.2 bound (k=2): {theorem_5_2_bound(2.0):.3f} "
+        "(paper: ~2.2)"
+    )
+    sim = simulate_work(8, 5, 1 / 8, trials=200, seed=1)
+    lines.append(
+        f"  Monte Carlo n=8 m=5 p=1/8: SF={sim.mean_work_sf:.1f} "
+        f"(formula {expected_work_sf(8, 5, 1 / 8):.1f}), "
+        f"IF={sim.mean_work_if:.1f} "
+        f"(formula {expected_work_if(8, 5, 1 / 8):.1f})"
+    )
+    reach = simulate_reachable(400, 2.0, trials=3, seed=1)
+    lines.append(
+        f"  Monte Carlo reachable (n=400, k=2): "
+        f"{reach.mean_reachable:.2f} <= {theorem_5_2_bound(2.0):.2f}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("target", choices=_TARGETS)
+    parser.add_argument(
+        "--suite", default="medium", choices=("quick", "medium", "full")
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="best-of-N timing (the paper used best of three)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "json":
+        results = SuiteResults.for_suite(
+            args.suite, seed=args.seed, repeats=args.repeats
+        )
+        print(export_results_json(results))
+        return 0
+    if args.target == "model":
+        print(_render_model())
+        return 0
+    if args.target == "table4":
+        print(render_table4())
+        return 0
+
+    results = SuiteResults.for_suite(
+        args.suite, seed=args.seed, repeats=args.repeats
+    )
+    renderers = {
+        "table1": lambda: render_table1(results),
+        "table2": lambda: render_table2(results),
+        "table3": lambda: render_table3(results),
+        "figure7": lambda: render_figure7(results),
+        "figure8": lambda: render_figure8(results),
+        "figure9": lambda: render_figure9(results),
+        "figure10": lambda: render_figure10(results),
+        "figure11": lambda: render_figure11(results),
+    }
+    if args.target == "all":
+        print(render_table4())
+        for name in ("table1", "table2", "table3", "figure7", "figure8",
+                     "figure9", "figure10", "figure11"):
+            print()
+            print(renderers[name]())
+        print()
+        print(
+            f"Mean SF-Oracle/IF-Oracle work ratio: "
+            f"{oracle_work_ratio(results):.2f} (paper: ~4.1, model: ~2.5)"
+        )
+        print()
+        print(_render_model())
+        return 0
+    print(renderers[args.target]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

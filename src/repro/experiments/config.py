@@ -1,0 +1,46 @@
+"""The six experiment configurations (paper Table 4)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from ..solver import CyclePolicy, GraphForm, SolverOptions
+
+#: Table 4: experiment label -> (graph form, cycle policy, description).
+TABLE4: "OrderedDict[str, tuple]" = OrderedDict(
+    (
+        ("SF-Plain", (GraphForm.STANDARD, CyclePolicy.NONE,
+                      "Standard form, no cycle elimination")),
+        ("IF-Plain", (GraphForm.INDUCTIVE, CyclePolicy.NONE,
+                      "Inductive form, no cycle elimination")),
+        ("SF-Oracle", (GraphForm.STANDARD, CyclePolicy.ORACLE,
+                       "Standard form, with full (oracle) cycle "
+                       "elimination")),
+        ("IF-Oracle", (GraphForm.INDUCTIVE, CyclePolicy.ORACLE,
+                       "Inductive form, with full (oracle) cycle "
+                       "elimination")),
+        ("SF-Online", (GraphForm.STANDARD, CyclePolicy.ONLINE,
+                       "Standard form, using online cycle elimination")),
+        ("IF-Online", (GraphForm.INDUCTIVE, CyclePolicy.ONLINE,
+                       "Inductive form, with online cycle elimination")),
+    )
+)
+
+#: Experiment labels in Table 4 order.
+EXPERIMENT_LABELS: List[str] = list(TABLE4.keys())
+
+
+def options_for(label: str, seed: int = 0, **overrides) -> SolverOptions:
+    """Build solver options for one Table 4 experiment label."""
+    try:
+        form, policy, _ = TABLE4[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {label!r}; choose from {EXPERIMENT_LABELS}"
+        ) from None
+    return SolverOptions(form=form, cycles=policy, seed=seed, **overrides)
+
+
+def describe(label: str) -> str:
+    return TABLE4[label][2]

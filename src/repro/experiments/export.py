@@ -1,0 +1,70 @@
+"""Machine-readable export of experiment results.
+
+Produces a single JSON document with Table 1 statistics, every
+(benchmark × experiment) run record, and the figure series — the format
+downstream plotting scripts consume.  Everything is plain dict/list/
+scalar so ``json.dumps`` works directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List
+
+from .config import EXPERIMENT_LABELS
+from .figures import figure7, figure8, figure9, figure9_work, figure10, \
+    figure11
+from .runner import SuiteResults
+from .tables import oracle_work_ratio
+
+
+def run_records(results: SuiteResults,
+                experiments=EXPERIMENT_LABELS) -> List[Dict]:
+    """All run records as dictionaries."""
+    records = results.run_all(experiments)
+    out = []
+    for record in records:
+        data = dataclasses.asdict(record)
+        data["total_seconds"] = record.total_seconds
+        out.append(data)
+    return out
+
+
+def _series_to_json(series) -> List[Dict]:
+    return [
+        {"name": name, "points": [list(point) for point in points]}
+        for name, points in series
+    ]
+
+
+def export_results(results: SuiteResults) -> Dict:
+    """Build the complete JSON-ready result document."""
+    return {
+        "suite": [bench.name for bench in results.benchmarks],
+        "table1": [
+            dataclasses.asdict(stats)
+            for stats in results.all_statistics()
+        ],
+        "runs": run_records(results),
+        "figures": {
+            "figure7": _series_to_json(figure7(results)),
+            "figure8": _series_to_json(figure8(results)),
+            "figure9": _series_to_json(figure9(results)),
+            "figure9_work": _series_to_json(figure9_work(results)),
+            "figure10": _series_to_json(figure10(results)),
+            "figure11": [
+                {"benchmark": name, "if_fraction": if_frac,
+                 "sf_fraction": sf_frac}
+                for name, if_frac, sf_frac in figure11(results)
+            ],
+        },
+        "aggregates": {
+            "oracle_work_ratio": oracle_work_ratio(results),
+        },
+    }
+
+
+def export_results_json(results: SuiteResults, indent: int = 2) -> str:
+    """The document serialized to a JSON string."""
+    return json.dumps(export_results(results), indent=indent)

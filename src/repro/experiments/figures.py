@@ -1,0 +1,198 @@
+"""Reproduction of the paper's figures (7-11) as data series.
+
+Every ``figureN`` function returns ``(name, [(x, y), ...])`` series that
+a plotting front-end could draw directly; ``render_figureN`` prints the
+same data as an aligned table (the benchmark harness asserts on the
+*shape*: who wins, by what factor, where crossovers fall).
+
+X axes follow the paper: program size in AST nodes for Figures 7 and
+10, absolute SF-Plain execution time for Figure 9; Figures 8 and 11 are
+per-benchmark.  Work-based variants are provided alongside times since
+work is deterministic (machine-independent), matching how the paper
+argues its claims.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .report import format_series, format_table
+from .runner import SuiteResults
+
+Series = Tuple[str, List[Tuple[float, float]]]
+
+
+def _sorted_benchmarks(results: SuiteResults):
+    return sorted(results.benchmarks, key=lambda bench: bench.ast_nodes)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: analysis time without cycle elimination vs program size
+# ----------------------------------------------------------------------
+def figure7(results: SuiteResults) -> List[Series]:
+    sf: List[Tuple[float, float]] = []
+    if_: List[Tuple[float, float]] = []
+    for bench in _sorted_benchmarks(results):
+        x = bench.ast_nodes
+        sf.append((x, results.run(bench.name, "SF-Plain").total_seconds))
+        if_.append((x, results.run(bench.name, "IF-Plain").total_seconds))
+    return [("SF-Plain (s)", sf), ("IF-Plain (s)", if_)]
+
+
+def render_figure7(results: SuiteResults) -> str:
+    return format_series(
+        "Figure 7: analysis times without cycle elimination",
+        "AST nodes", figure7(results),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: online and oracle analysis times vs program size
+# ----------------------------------------------------------------------
+FIGURE8_EXPERIMENTS = ("IF-Oracle", "SF-Oracle", "IF-Online", "SF-Online")
+
+
+def figure8(results: SuiteResults) -> List[Series]:
+    series = {label: [] for label in FIGURE8_EXPERIMENTS}
+    for bench in _sorted_benchmarks(results):
+        x = bench.ast_nodes
+        for label in FIGURE8_EXPERIMENTS:
+            series[label].append(
+                (x, results.run(bench.name, label).total_seconds)
+            )
+    return [(f"{label} (s)", series[label]) for label in FIGURE8_EXPERIMENTS]
+
+
+def render_figure8(results: SuiteResults) -> str:
+    return format_series(
+        "Figure 8: analysis times with online and oracle cycle "
+        "elimination",
+        "AST nodes", figure8(results),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: speedups over the standard implementation
+# ----------------------------------------------------------------------
+def figure9(results: SuiteResults) -> List[Series]:
+    """Speedups vs SF-Plain, plotted against SF-Plain absolute time."""
+    total: List[Tuple[float, float]] = []
+    online_only: List[Tuple[float, float]] = []
+    points = []
+    for bench in results.benchmarks:
+        base = results.run(bench.name, "SF-Plain").total_seconds
+        points.append((base, bench.name))
+    points.sort()
+    for base, name in points:
+        if_online = results.run(name, "IF-Online").total_seconds
+        sf_online = results.run(name, "SF-Online").total_seconds
+        total.append((base, base / if_online if if_online else 0.0))
+        online_only.append((base, base / sf_online if sf_online else 0.0))
+    return [
+        ("IF-Online over SF-Plain", total),
+        ("SF-Online over SF-Plain", online_only),
+    ]
+
+
+def figure9_work(results: SuiteResults) -> List[Series]:
+    """Deterministic variant: work ratios instead of time ratios."""
+    total: List[Tuple[float, float]] = []
+    online_only: List[Tuple[float, float]] = []
+    for bench in _sorted_benchmarks(results):
+        base = results.run(bench.name, "SF-Plain").work
+        if_online = results.run(bench.name, "IF-Online").work
+        sf_online = results.run(bench.name, "SF-Online").work
+        total.append((bench.ast_nodes, base / if_online))
+        online_only.append((bench.ast_nodes, base / sf_online))
+    return [
+        ("SF-Plain/IF-Online work", total),
+        ("SF-Plain/SF-Online work", online_only),
+    ]
+
+
+def render_figure9(results: SuiteResults) -> str:
+    rendered = format_series(
+        "Figure 9: speedup over the standard implementation "
+        "(x = SF-Plain seconds)",
+        "SF-Plain (s)", figure9(results),
+    )
+    rendered += "\n\n" + format_series(
+        "Figure 9 (work-based variant)",
+        "AST nodes", figure9_work(results),
+    )
+    return rendered
+
+
+# ----------------------------------------------------------------------
+# Figure 10: IF-Online vs SF-Online
+# ----------------------------------------------------------------------
+def figure10(results: SuiteResults) -> List[Series]:
+    time_ratio: List[Tuple[float, float]] = []
+    work_ratio: List[Tuple[float, float]] = []
+    for bench in _sorted_benchmarks(results):
+        x = bench.ast_nodes
+        sf = results.run(bench.name, "SF-Online")
+        if_ = results.run(bench.name, "IF-Online")
+        time_ratio.append(
+            (x, sf.total_seconds / if_.total_seconds
+             if if_.total_seconds else 0.0)
+        )
+        work_ratio.append((x, sf.work / if_.work if if_.work else 0.0))
+    return [
+        ("SF-Online/IF-Online time", time_ratio),
+        ("SF-Online/IF-Online work", work_ratio),
+    ]
+
+
+def render_figure10(results: SuiteResults) -> str:
+    return format_series(
+        "Figure 10: speedup of IF-Online over SF-Online",
+        "AST nodes", figure10(results),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11: fraction of cycle variables detected online
+# ----------------------------------------------------------------------
+def figure11(results: SuiteResults) -> List[Tuple[str, float, float]]:
+    """Per benchmark: (name, IF fraction, SF fraction).
+
+    Fraction = variables eliminated online / variables in non-trivial
+    SCCs of the final constraint graph (paper: IF ~80 %, SF ~40 %).
+    """
+    rows: List[Tuple[str, float, float]] = []
+    for bench in _sorted_benchmarks(results):
+        stats = results.statistics(bench.name)
+        denominator = stats.final_scc_vars
+        if denominator == 0:
+            rows.append((bench.name, 0.0, 0.0))
+            continue
+        if_elim = results.run(bench.name, "IF-Online").vars_eliminated
+        sf_elim = results.run(bench.name, "SF-Online").vars_eliminated
+        rows.append(
+            (bench.name, if_elim / denominator, sf_elim / denominator)
+        )
+    return rows
+
+
+def render_figure11(results: SuiteResults) -> str:
+    rows = [
+        (name, f"{if_frac:.0%}", f"{sf_frac:.0%}")
+        for name, if_frac, sf_frac in figure11(results)
+    ]
+    averages = figure11_averages(results)
+    rows.append(("MEAN", f"{averages[0]:.0%}", f"{averages[1]:.0%}"))
+    return format_table(
+        "Figure 11: fraction of final-SCC variables eliminated online",
+        ("Benchmark", "IF-Online", "SF-Online"),
+        rows,
+    )
+
+
+def figure11_averages(results: SuiteResults) -> Tuple[float, float]:
+    rows = [row for row in figure11(results) if row[1] or row[2]]
+    if not rows:
+        return (0.0, 0.0)
+    mean_if = sum(r[1] for r in rows) / len(rows)
+    mean_sf = sum(r[2] for r in rows) / len(rows)
+    return (mean_if, mean_sf)

@@ -1,0 +1,72 @@
+"""Plain-text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render an aligned monospace table."""
+    materialized: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                      else cell.ljust(widths[i])
+                      for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    return stripped.isdigit()
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Sequence[tuple],
+) -> str:
+    """Render figure data as a table: x plus one column per series.
+
+    ``series`` is a sequence of ``(name, [(x, y), ...])`` pairs sharing
+    the same x values.
+    """
+    if not series:
+        return title
+    headers = [x_label] + [name for name, _ in series]
+    xs = [point[0] for point in series[0][1]]
+    rows = []
+    for index, x in enumerate(xs):
+        row = [x]
+        for _, points in series:
+            row.append(points[index][1] if index < len(points) else "")
+        rows.append(row)
+    return format_table(title, headers, rows)

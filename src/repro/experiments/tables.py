@@ -1,0 +1,143 @@
+"""Reproduction of the paper's tables.
+
+Each ``tableN`` function returns structured rows; ``render_tableN``
+produces the text the harness prints.  Layouts follow the paper:
+
+* **Table 1** — static benchmark data (AST nodes, lines, set variables,
+  initial nodes/edges, variables in SCCs and max SCC size for both the
+  initial and the final graph).
+* **Table 2** — Edges / Work / time for the four non-online experiments
+  (SF-Plain, IF-Plain, SF-Oracle, IF-Oracle).
+* **Table 3** — Edges / Work / time / variables eliminated for the two
+  online experiments (SF-Online, IF-Online).
+* **Table 4** — the experiment roster (definitional).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .config import TABLE4
+from .report import format_table
+from .runner import BenchmarkStats, RunRecord, SuiteResults
+
+#: Experiments shown in Table 2 (paper order).
+TABLE2_EXPERIMENTS = ("SF-Plain", "IF-Plain", "SF-Oracle", "IF-Oracle")
+#: Experiments shown in Table 3.
+TABLE3_EXPERIMENTS = ("SF-Online", "IF-Online")
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def table1(results: SuiteResults) -> List[BenchmarkStats]:
+    return results.all_statistics()
+
+
+def render_table1(results: SuiteResults) -> str:
+    headers = (
+        "Benchmark", "AST Nodes", "Lines", "Set Vars",
+        "Init Nodes", "Init Edges",
+        "Init @SCC", "Init max", "Final @SCC", "Final max",
+    )
+    rows = [
+        (
+            s.name, s.ast_nodes, s.lines, s.set_vars,
+            s.initial_nodes, s.initial_edges,
+            s.initial_scc_vars, s.initial_scc_max,
+            s.final_scc_vars, s.final_scc_max,
+        )
+        for s in table1(results)
+    ]
+    return format_table(
+        "Table 1: benchmark data common to all experiments",
+        headers, rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 2 and 3
+# ----------------------------------------------------------------------
+def _experiment_rows(
+    results: SuiteResults, experiments: Sequence[str]
+) -> List[Dict[str, RunRecord]]:
+    rows = []
+    for bench in results.benchmarks:
+        rows.append(
+            {label: results.run(bench.name, label) for label in experiments}
+        )
+    return rows
+
+
+def table2(results: SuiteResults) -> List[Dict[str, RunRecord]]:
+    return _experiment_rows(results, TABLE2_EXPERIMENTS)
+
+
+def render_table2(results: SuiteResults) -> str:
+    headers = ["Benchmark"]
+    for label in TABLE2_EXPERIMENTS:
+        headers += [f"{label} Edges", f"{label} Work", f"{label} s"]
+    rows = []
+    for bench, records in zip(results.benchmarks, table2(results)):
+        row: List[object] = [bench.name]
+        for label in TABLE2_EXPERIMENTS:
+            record = records[label]
+            row += [record.final_edges, record.work,
+                    round(record.total_seconds, 3)]
+        rows.append(row)
+    return format_table(
+        "Table 2: edges, work and time without online elimination "
+        "(plain and oracle runs)",
+        headers, rows,
+    )
+
+
+def table3(results: SuiteResults) -> List[Dict[str, RunRecord]]:
+    return _experiment_rows(results, TABLE3_EXPERIMENTS)
+
+
+def render_table3(results: SuiteResults) -> str:
+    headers = ["Benchmark"]
+    for label in TABLE3_EXPERIMENTS:
+        headers += [
+            f"{label} Edges", f"{label} Work", f"{label} s",
+            f"{label} Elim",
+        ]
+    rows = []
+    for bench, records in zip(results.benchmarks, table3(results)):
+        row: List[object] = [bench.name]
+        for label in TABLE3_EXPERIMENTS:
+            record = records[label]
+            row += [
+                record.final_edges, record.work,
+                round(record.total_seconds, 3), record.vars_eliminated,
+            ]
+        rows.append(row)
+    return format_table(
+        "Table 3: online cycle elimination experiments",
+        headers, rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 4
+# ----------------------------------------------------------------------
+def render_table4() -> str:
+    rows = [(label, desc) for label, (_, _, desc) in TABLE4.items()]
+    return format_table(
+        "Table 4: experiments", ("Experiment", "Description"), rows
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregate claims from Section 4 / 5
+# ----------------------------------------------------------------------
+def oracle_work_ratio(results: SuiteResults) -> float:
+    """Mean SF-Oracle / IF-Oracle work ratio (paper: ~4.1, model: ~2.5)."""
+    ratios = []
+    for bench in results.benchmarks:
+        sf = results.run(bench.name, "SF-Oracle").work
+        if_ = results.run(bench.name, "IF-Oracle").work
+        if if_:
+            ratios.append(sf / if_)
+    return sum(ratios) / len(ratios) if ratios else 0.0

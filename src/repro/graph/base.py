@@ -1,0 +1,242 @@
+"""Shared machinery of the two constraint-graph representations.
+
+Both standard form and inductive form keep, per variable:
+
+* ``sources`` — source terms known to flow into the variable,
+* ``sinks`` — sink terms the variable flows into,
+* ``succ_vars`` / ``pred_vars`` — variable-variable adjacency (SF uses
+  only successor lists; IF splits edges by the order ``o(.)``).
+
+Adjacency sets store raw integer variable ids.  Collapsed variables are
+forwarded through a union-find; stale ids in adjacency sets are resolved
+lazily via ``find`` whenever they are read.  Propagation never mutates
+the graph directly — it *emits* atomic operations onto the engine's
+worklist, which keeps the closure incremental and makes the Work metric
+(one unit per processed operation) well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..constraints.expressions import Term
+from .cycles import SearchMode, find_chain_path
+from .order import VariableOrder
+from .stats import SolverStats
+from .unionfind import UnionFind
+
+#: Operation tags understood by the solver engine's worklist.
+OP_VAR_VAR = "vv"
+OP_SOURCE = "sv"
+OP_SINK = "vs"
+OP_RESOLVE = "rr"
+
+#: A worklist operation: (tag, payload, payload).
+Op = Tuple[str, object, object]
+
+
+class ConstraintGraphBase:
+    """State and behaviour common to SF and IF graphs."""
+
+    #: set by subclasses; used in reports
+    form_name = "base"
+
+    def __init__(
+        self,
+        num_vars: int,
+        order: VariableOrder,
+        stats: SolverStats,
+        emit: Callable[[Op], None],
+        online_cycles: bool = False,
+        search_mode: SearchMode = SearchMode.DECREASING,
+        max_search_visits: Optional[int] = None,
+        trace: Optional[Callable[[str, dict], None]] = None,
+    ) -> None:
+        self.num_vars = num_vars
+        self.order = order
+        self.stats = stats
+        self.emit = emit
+        self.online_cycles = online_cycles
+        self.search_mode = search_mode
+        self.max_search_visits = max_search_visits
+        self.trace = trace
+        self.unionfind = UnionFind(num_vars)
+        self.succ_vars: List[Set[int]] = [set() for _ in range(num_vars)]
+        self.pred_vars: List[Set[int]] = [set() for _ in range(num_vars)]
+        self.sources: List[Set[Term]] = [set() for _ in range(num_vars)]
+        self.sinks: List[Set[Term]] = [set() for _ in range(num_vars)]
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+    def find(self, var_index: int) -> int:
+        return self.unionfind.find(var_index)
+
+    def rank(self, var_index: int) -> int:
+        return self.order.ranks[var_index]
+
+    def grow(self, num_vars: int) -> None:
+        """Admit late-created variables (used by incremental clients)."""
+        if num_vars <= self.num_vars:
+            return
+        self.order.ensure(num_vars)
+        self.unionfind.grow(num_vars)
+        for collection in (
+            self.succ_vars,
+            self.pred_vars,
+            self.sources,
+            self.sinks,
+        ):
+            while len(collection) < num_vars:
+                collection.append(set())
+        self.num_vars = num_vars
+
+    def alias(self, var_index: int, witness_index: int) -> None:
+        """Pre-collapse a variable onto a witness (oracle experiments).
+
+        Must be called before any constraint touching ``var_index`` is
+        processed; no constraint migration is performed.
+        """
+        self.unionfind.union_into(witness_index, var_index)
+
+    # ------------------------------------------------------------------
+    # Representation hooks (implemented by SF / IF)
+    # ------------------------------------------------------------------
+    def add_var_var(self, left: int, right: int) -> None:
+        raise NotImplementedError
+
+    def add_source(self, term: Term, var_index: int) -> None:
+        raise NotImplementedError
+
+    def add_sink(self, var_index: int, term: Term) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Cycle collapse (shared by both forms)
+    # ------------------------------------------------------------------
+    def collapse_path(self, path: Sequence[int]) -> int:
+        """Collapse the distinct representatives on ``path``.
+
+        The witness is the lowest vertex in the order ``o(.)`` (this
+        preserves inductive form, Section 2.5).  Every absorbed vertex's
+        constraints are re-emitted against the witness through the normal
+        insertion path, so the closure remains correct without a special
+        cross-product step.  Returns the witness id.
+        """
+        nodes = []
+        seen = set()
+        for raw in path:
+            node = self.find(raw)
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+        witness = min(nodes, key=self.rank)
+        self.stats.cycles_found += 1
+        if self.trace is not None and len(nodes) > 1:
+            self.trace(
+                "collapse", {"witness": witness, "members": tuple(nodes)}
+            )
+        for node in nodes:
+            if node != witness:
+                self._absorb(node, witness)
+        return witness
+
+    def _absorb(self, absorbed: int, witness: int) -> None:
+        """Forward ``absorbed`` into ``witness`` and re-emit its edges."""
+        self.unionfind.union_into(witness, absorbed)
+        self.stats.vars_eliminated += 1
+        emit = self.emit
+        for term in self.sources[absorbed]:
+            emit((OP_SOURCE, term, witness))
+        for term in self.sinks[absorbed]:
+            emit((OP_SINK, witness, term))
+        for succ in self.succ_vars[absorbed]:
+            emit((OP_VAR_VAR, witness, succ))
+        for pred in self.pred_vars[absorbed]:
+            emit((OP_VAR_VAR, pred, witness))
+        self.sources[absorbed] = set()
+        self.sinks[absorbed] = set()
+        self.succ_vars[absorbed] = set()
+        self.pred_vars[absorbed] = set()
+
+    def collapse_all_sccs(self) -> int:
+        """Collapse every non-trivial SCC of the current var-var graph.
+
+        This is the *periodic simplification* baseline from the paper's
+        introduction (cf. [FA96, FF97, MW97]): a full offline pass,
+        run every so often, as opposed to the partial online search.
+        Returns the number of variables eliminated by this sweep.
+        """
+        from .scc import strongly_connected_components
+
+        vertices = [
+            rep for rep in self.unionfind.representatives()
+            if rep < self.num_vars
+        ]
+        edges = []
+        for rep in vertices:
+            for succ in self.canonical_successors(rep):
+                edges.append((rep, succ))
+            for pred in self.canonical_predecessors(rep):
+                edges.append((pred, rep))
+        eliminated_before = self.stats.vars_eliminated
+        for component in strongly_connected_components(vertices, edges):
+            if len(component) >= 2:
+                self.collapse_path(component)
+        return self.stats.vars_eliminated - eliminated_before
+
+    def _search_and_collapse(
+        self,
+        adjacency: Sequence[Set[int]],
+        start: int,
+        target: int,
+        mode: SearchMode,
+    ) -> bool:
+        """Run the partial chain search; collapse and report any cycle."""
+        path = find_chain_path(
+            adjacency,
+            self.find,
+            self.rank,
+            start,
+            target,
+            mode,
+            self.stats,
+            self.max_search_visits,
+        )
+        if path is None:
+            return False
+        self.collapse_path(path)
+        return True
+
+    # ------------------------------------------------------------------
+    # Final-graph accounting
+    # ------------------------------------------------------------------
+    def canonical_successors(self, var_index: int) -> Set[int]:
+        """Deduplicated, find-resolved successor set (no self loops)."""
+        rep = self.find(var_index)
+        out = {self.find(raw) for raw in self.succ_vars[rep]}
+        out.discard(rep)
+        return out
+
+    def canonical_predecessors(self, var_index: int) -> Set[int]:
+        rep = self.find(var_index)
+        out = {self.find(raw) for raw in self.pred_vars[rep]}
+        out.discard(rep)
+        return out
+
+    def finalize_statistics(self) -> None:
+        """Fill the final edge counts into the stats object."""
+        var_var = 0
+        source_edges = 0
+        sink_edges = 0
+        for rep in self.unionfind.representatives():
+            if rep >= self.num_vars:
+                continue
+            var_var += len(self.canonical_successors(rep))
+            var_var += len(self.canonical_predecessors(rep))
+            source_edges += len(self.sources[rep])
+            sink_edges += len(self.sinks[rep])
+        self.stats.finalize_edges(var_var, source_edges, sink_edges)
+
+    def representatives(self) -> List[int]:
+        return [rep for rep in self.unionfind.representatives()]

@@ -1,0 +1,128 @@
+"""Strongly connected components (iterative Tarjan).
+
+Used offline only: for the benchmark statistics of Table 1 (how many
+variables sit in non-trivial SCCs of the initial and final constraint
+graphs) and to build the witness map of the oracle experiments.  The
+online algorithm never calls this — that is the whole point of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+
+def strongly_connected_components(
+    vertices: Iterable[Hashable],
+    edges: Iterable[Tuple[Hashable, Hashable]],
+) -> List[List[Hashable]]:
+    """Return the SCCs of the directed graph, iteratively (no recursion).
+
+    Components are returned in reverse topological order (Tarjan's
+    natural output order); vertices missing from ``vertices`` but
+    mentioned by ``edges`` are included automatically.
+    """
+    adjacency: Dict[Hashable, List[Hashable]] = {}
+    for vertex in vertices:
+        adjacency.setdefault(vertex, [])
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+        adjacency.setdefault(dst, [])
+
+    index_of: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[List[Hashable]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        # Explicit DFS stack of (vertex, iterator position).
+        work: List[Tuple[Hashable, int]] = [(root, 0)]
+        while work:
+            vertex, child_pos = work.pop()
+            if child_pos == 0:
+                index_of[vertex] = counter
+                lowlink[vertex] = counter
+                counter += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            children = adjacency[vertex]
+            recursed = False
+            for position in range(child_pos, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work.append((vertex, position + 1))
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if child in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex], index_of[child])
+            if recursed:
+                continue
+            if lowlink[vertex] == index_of[vertex]:
+                component: List[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+    return components
+
+
+@dataclass(frozen=True)
+class SccSummary:
+    """Aggregate SCC statistics for a constraint graph (Table 1 columns)."""
+
+    #: number of variables that sit in a non-trivial (size >= 2) SCC
+    vars_in_cycles: int
+    #: size of the largest SCC
+    max_scc_size: int
+    #: number of non-trivial SCCs
+    nontrivial_sccs: int
+
+
+def summarize_sccs(
+    vertices: Iterable[Hashable],
+    edges: Iterable[Tuple[Hashable, Hashable]],
+) -> SccSummary:
+    """Compute the Table 1 SCC summary for a var-var constraint graph."""
+    components = strongly_connected_components(vertices, edges)
+    vars_in_cycles = 0
+    max_size = 0
+    nontrivial = 0
+    for component in components:
+        size = len(component)
+        max_size = max(max_size, size)
+        if size >= 2:
+            vars_in_cycles += size
+            nontrivial += 1
+    return SccSummary(vars_in_cycles, max_size, nontrivial)
+
+
+def witness_map(
+    vertices: Iterable[Hashable],
+    edges: Iterable[Tuple[Hashable, Hashable]],
+) -> Dict[Hashable, Hashable]:
+    """Map every vertex of a non-trivial SCC to its component witness.
+
+    The witness is the smallest member (stable and deterministic).  Only
+    vertices that actually need forwarding appear in the result.
+    """
+    mapping: Dict[Hashable, Hashable] = {}
+    for component in strongly_connected_components(vertices, edges):
+        if len(component) < 2:
+            continue
+        witness = min(component)
+        for member in component:
+            if member != witness:
+                mapping[member] = witness
+    return mapping

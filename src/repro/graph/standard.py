@@ -1,0 +1,95 @@
+"""Standard form (SF) — paper Section 2.3.
+
+All variable-variable constraints are successor edges; sources live in
+predecessor position, sinks in successor position.  The closure rule
+
+    L ...-> X -> R   =>   L <= R      (L always a source term)
+
+propagates source terms forward to every reachable variable, so the
+final graph contains the least solution explicitly: ``LS(X)`` is exactly
+the source set of ``X``.
+
+Online cycle elimination for SF (Section 2.5): when adding a successor
+edge ``X -> Y``, search along successor edges *from Y* for a successor
+chain back to ``X``, following only edges that point to lower-indexed
+variables.  The paper's "increasing chains" ablation flips that
+restriction.
+"""
+
+from __future__ import annotations
+
+from ..constraints.expressions import Term
+from .base import (
+    ConstraintGraphBase,
+    OP_RESOLVE,
+    OP_SOURCE,
+)
+
+
+class StandardGraph(ConstraintGraphBase):
+    """Constraint graph in standard form."""
+
+    form_name = "standard"
+
+    def add_var_var(self, left: int, right: int) -> None:
+        """Process the atomic constraint ``X <= Y`` (a successor edge)."""
+        self.stats.work += 1
+        left = self.find(left)
+        right = self.find(right)
+        if left == right:
+            self.stats.self_edges += 1
+            return
+        if right in self.succ_vars[left]:
+            self.stats.redundant += 1
+            return
+        if self.online_cycles:
+            # Search for a successor chain right -> ... -> left; together
+            # with the new edge left -> right it forms a cycle.
+            collapsed = self._search_and_collapse(
+                self.succ_vars, right, left, self.search_mode
+            )
+            if collapsed:
+                # left and right are now the same vertex; the new edge
+                # would be a self loop.
+                if self.find(left) == self.find(right):
+                    return
+                left = self.find(left)
+                right = self.find(right)
+        self.succ_vars[left].add(right)
+        emit = self.emit
+        for term in self.sources[left]:
+            emit((OP_SOURCE, term, right))
+
+    def add_source(self, term: Term, var_index: int) -> None:
+        """Process ``c(...) <= X``: record and propagate forward."""
+        self.stats.work += 1
+        var_index = self.find(var_index)
+        bucket = self.sources[var_index]
+        if term in bucket:
+            self.stats.redundant += 1
+            return
+        bucket.add(term)
+        emit = self.emit
+        for succ in self.succ_vars[var_index]:
+            emit((OP_SOURCE, term, succ))
+        for sink in self.sinks[var_index]:
+            emit((OP_RESOLVE, term, sink))
+
+    def add_sink(self, var_index: int, term: Term) -> None:
+        """Process ``X <= c(...)``: record and resolve against sources."""
+        self.stats.work += 1
+        var_index = self.find(var_index)
+        bucket = self.sinks[var_index]
+        if term in bucket:
+            self.stats.redundant += 1
+            return
+        bucket.add(term)
+        emit = self.emit
+        for source in self.sources[var_index]:
+            emit((OP_RESOLVE, source, term))
+
+    # ------------------------------------------------------------------
+    # Least solution: explicit in SF.
+    # ------------------------------------------------------------------
+    def least_solution_of(self, var_index: int) -> frozenset:
+        return frozenset(self.sources[self.find(var_index)])

@@ -1,0 +1,96 @@
+"""Counters reported by the solver.
+
+``work`` is the paper's Work column: the total number of *attempted*
+atomic edge additions, including redundant re-additions of edges already
+present (Tables 2 and 3 and all of Section 5 are stated in this
+quantity).  The cycle-search counters back Theorem 5.2's claim that the
+partial search visits a small constant number of nodes on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class SolverStats:
+    """Mutable statistics accumulated during one solver run."""
+
+    #: attempted atomic edge additions (incl. redundant); the Work metric
+    work: int = 0
+    #: additions that found the edge already present
+    redundant: int = 0
+    #: additions dropped because source and target had been collapsed
+    self_edges: int = 0
+    #: applications of the resolution rules R (source-meets-sink events)
+    resolutions: int = 0
+    #: inconsistent constraints discovered (constructor clashes etc.)
+    clashes: int = 0
+
+    #: online cycle detection: searches started / nodes visited / cycles hit
+    cycle_searches: int = 0
+    cycle_search_visits: int = 0
+    cycles_found: int = 0
+    #: variables eliminated by collapsing (forwarded into a witness)
+    vars_eliminated: int = 0
+    #: full offline SCC sweeps performed (periodic policy only)
+    periodic_sweeps: int = 0
+
+    #: wall-clock seconds for closure and for least-solution computation
+    closure_seconds: float = 0.0
+    least_solution_seconds: float = 0.0
+
+    #: final (deduplicated) edge counts, filled in after closure
+    final_var_var_edges: int = 0
+    final_source_edges: int = 0
+    final_sink_edges: int = 0
+
+    def finalize_edges(self, var_var: int, source: int, sink: int) -> None:
+        self.final_var_var_edges = var_var
+        self.final_source_edges = source
+        self.final_sink_edges = sink
+
+    @property
+    def final_edges(self) -> int:
+        """Total distinct edges in the final graph (paper's Edges column)."""
+        return (
+            self.final_var_var_edges
+            + self.final_source_edges
+            + self.final_sink_edges
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Closure plus least-solution time (the paper's IF convention)."""
+        return self.closure_seconds + self.least_solution_seconds
+
+    @property
+    def mean_search_visits(self) -> float:
+        """Average nodes visited per cycle search (Theorem 5.2's quantity)."""
+        if self.cycle_searches == 0:
+            return 0.0
+        return self.cycle_search_visits / self.cycle_searches
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view used by the experiment report writers."""
+        return {
+            "work": self.work,
+            "redundant": self.redundant,
+            "self_edges": self.self_edges,
+            "resolutions": self.resolutions,
+            "clashes": self.clashes,
+            "cycle_searches": self.cycle_searches,
+            "cycle_search_visits": self.cycle_search_visits,
+            "cycles_found": self.cycles_found,
+            "vars_eliminated": self.vars_eliminated,
+            "periodic_sweeps": self.periodic_sweeps,
+            "final_edges": self.final_edges,
+            "final_var_var_edges": self.final_var_var_edges,
+            "final_source_edges": self.final_source_edges,
+            "final_sink_edges": self.final_sink_edges,
+            "closure_seconds": self.closure_seconds,
+            "least_solution_seconds": self.least_solution_seconds,
+            "total_seconds": self.total_seconds,
+            "mean_search_visits": self.mean_search_visits,
+        }

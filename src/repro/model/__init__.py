@@ -1,0 +1,65 @@
+"""The analytical model of paper Section 5 plus Monte-Carlo validation."""
+
+from .formulas import (
+    WorkComparison,
+    approx_work_if,
+    approx_work_sf,
+    compare_work,
+    expected_additions_if_source_source,
+    expected_additions_if_var_source,
+    expected_additions_if_var_var,
+    expected_additions_sf_source_source,
+    expected_additions_sf_source_var,
+    expected_reachable_exact,
+    expected_work_if,
+    expected_work_sf,
+    knuth_q_approximation,
+    lemma_5_3_probability,
+    theorem_5_1_ratio,
+    theorem_5_2_bound,
+)
+from .montecarlo import (
+    ReachableSimulation,
+    WorkSimulation,
+    simulate_reachable,
+    simulate_work,
+)
+from .solver_validation import (
+    SolverModelComparison,
+    measure_solver_on_model,
+    random_constraint_system,
+)
+from .randomgraph import (
+    RandomConstraintGraph,
+    sample_graph,
+    sample_variable_graph,
+)
+
+__all__ = [
+    "RandomConstraintGraph",
+    "SolverModelComparison",
+    "measure_solver_on_model",
+    "random_constraint_system",
+    "ReachableSimulation",
+    "WorkComparison",
+    "WorkSimulation",
+    "approx_work_if",
+    "approx_work_sf",
+    "compare_work",
+    "expected_additions_if_source_source",
+    "expected_additions_if_var_source",
+    "expected_additions_if_var_var",
+    "expected_additions_sf_source_source",
+    "expected_additions_sf_source_var",
+    "expected_reachable_exact",
+    "expected_work_if",
+    "expected_work_sf",
+    "knuth_q_approximation",
+    "lemma_5_3_probability",
+    "sample_graph",
+    "sample_variable_graph",
+    "simulate_reachable",
+    "simulate_work",
+    "theorem_5_1_ratio",
+    "theorem_5_2_bound",
+]

@@ -1,0 +1,201 @@
+"""The analytical model of Section 5, in closed form.
+
+Random constraint graphs: ``n`` variable nodes, ``m`` constructed
+(source/sink) nodes, every ordered pair an edge independently with
+probability ``p``.  The model counts *edge additions through simple
+paths* — the work of closing the graph with perfect cycle elimination —
+for both representations, and the expected number of nodes reachable by
+a decreasing chain (the cost of one partial cycle search).
+
+Key results reproduced here:
+
+* ``expected_work_sf`` / ``expected_work_if`` — the exact sums of
+  Sections 5.1 and 5.2 built on Lemma 5.3.
+* Theorem 5.1: with ``p = 1/n`` and ``m/n = 2/3``,
+  ``E(X_SF)/E(X_IF) -> ~2.5``.
+* Theorem 5.2: with ``p = k/n`` the expected number of variables
+  reachable through a predecessor chain is below ``(e^k - 1 - k)/k``
+  (~2.2 for ``k = 2``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Terms smaller than this fraction of the running total are dropped;
+#: the sums' terms decay factorially so this loses nothing measurable.
+_CUTOFF = 1e-18
+
+
+def _path_sum(choices: int, p: float, weight) -> float:
+    """Compute ``sum_i C(choices, i) * i! * p^(i+1) * weight(i)``.
+
+    ``C(choices, i) * i!`` is the number of ways to pick and arrange the
+    ``i`` intermediate variable nodes of a simple path; ``p^(i+1)`` is
+    the probability all ``i+1`` edges exist; ``weight(i)`` is the
+    representation-specific probability the edge is actually added
+    through such a path (Lemma 5.3).
+    """
+    total = 0.0
+    # Running C(choices, i) * i! * p^(i+1), folded together so neither
+    # the falling factorial overflows nor p^(i+1) underflows.
+    term = p
+    for i in range(1, choices + 1):
+        term *= (choices - i + 1) * p
+        contribution = term * weight(i)
+        total += contribution
+        if contribution < _CUTOFF * max(total, 1e-300):
+            break
+    return total
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 — standard form
+# ----------------------------------------------------------------------
+def expected_additions_sf_source_var(n: int, p: float) -> float:
+    """``E(X_SF^(c,X))``: additions of one source-to-variable edge."""
+    return _path_sum(n - 1, p, lambda i: 1.0)
+
+
+def expected_additions_sf_source_source(n: int, p: float) -> float:
+    """``E(X_SF^(c,c'))``: additions of one source-to-sink edge."""
+    return _path_sum(n, p, lambda i: 1.0)
+
+
+def expected_work_sf(n: int, m: int, p: float) -> float:
+    """Total expected SF edge additions over all possible edges."""
+    return (
+        m * n * expected_additions_sf_source_var(n, p)
+        + m * (m - 1) * expected_additions_sf_source_source(n, p)
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 — inductive form (probabilities from Lemma 5.3)
+# ----------------------------------------------------------------------
+def lemma_5_3_probability(l: int, kind: str) -> float:
+    """``P_l(u, v)`` for a path with ``l`` nodes.
+
+    ``kind`` is ``"vv"`` (both endpoints variables), ``"vc"`` (one
+    variable, one constructed node), or ``"cc"`` (both constructed).
+    """
+    if kind == "vv":
+        return 2.0 / (l * (l - 1))
+    if kind == "vc":
+        return 1.0 / (l - 1)
+    if kind == "cc":
+        return 1.0
+    raise ValueError(f"unknown endpoint kind {kind!r}")
+
+
+def expected_additions_if_var_var(n: int, p: float) -> float:
+    """``E(X_IF^(X1,X2))`` using ``P_{i+2} = 2/((i+2)(i+1))``."""
+    return _path_sum(
+        n - 2, p, lambda i: lemma_5_3_probability(i + 2, "vv")
+    )
+
+
+def expected_additions_if_var_source(n: int, p: float) -> float:
+    """``E(X_IF^(X,c)) = E(X_IF^(c,X))`` using ``P_{i+2} = 1/(i+1)``."""
+    return _path_sum(
+        n - 1, p, lambda i: lemma_5_3_probability(i + 2, "vc")
+    )
+
+
+def expected_additions_if_source_source(n: int, p: float) -> float:
+    """``E(X_IF^(c,c'))``; same as SF (``P = 1``)."""
+    return _path_sum(n, p, lambda i: 1.0)
+
+
+def expected_work_if(n: int, m: int, p: float) -> float:
+    """Total expected IF edge additions over all possible edges."""
+    return (
+        m * (m - 1) * expected_additions_if_source_source(n, p)
+        + 2 * m * n * expected_additions_if_var_source(n, p)
+        + n * (n - 1) * expected_additions_if_var_var(n, p)
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.3 — closed-form approximations at p = 1/n
+# ----------------------------------------------------------------------
+def knuth_q_approximation(n: int) -> float:
+    """``sum_i C(n,i) i! n^-i  ~  sqrt(pi n / 2)`` (equation (2))."""
+    return math.sqrt(math.pi * n / 2.0)
+
+
+def approx_work_sf(n: int, m: int) -> float:
+    """Closed-form ``E(X_SF)`` at ``p = 1/n`` (Section 5.3)."""
+    q = knuth_q_approximation(n)
+    return m * (q - 1.0) * 1.0 + (m * (m - 1) / n) * q
+
+
+def approx_work_if(n: int, m: int) -> float:
+    """Closed-form ``E(X_IF)`` at ``p = 1/n`` (Section 5.3)."""
+    q = knuth_q_approximation(n)
+    return (m * (m - 1) / n) * q + 2.0 * m * math.log(n) + n
+
+
+@dataclass(frozen=True)
+class WorkComparison:
+    """SF-vs-IF expected work at one model configuration."""
+
+    n: int
+    m: int
+    p: float
+    work_sf: float
+    work_if: float
+
+    @property
+    def ratio(self) -> float:
+        return self.work_sf / self.work_if if self.work_if else math.inf
+
+
+def compare_work(n: int, m_ratio: float = 2.0 / 3.0,
+                 p: float = None) -> WorkComparison:
+    """Exact-model comparison at the paper's parameters.
+
+    Defaults: ``m = (2/3) n`` and ``p = 1/n`` (Theorem 5.1's setting).
+    """
+    m = max(1, round(m_ratio * n))
+    if p is None:
+        p = 1.0 / n
+    return WorkComparison(
+        n, m, p, expected_work_sf(n, m, p), expected_work_if(n, m, p)
+    )
+
+
+def theorem_5_1_ratio(n: int, m_ratio: float = 2.0 / 3.0) -> float:
+    """``E(X_SF)/E(X_IF)`` at ``p = 1/n``; tends to ~2.5 as n grows."""
+    return compare_work(n, m_ratio).ratio
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 — cost of one partial cycle search
+# ----------------------------------------------------------------------
+def expected_reachable_exact(n: int, k: float) -> float:
+    """Exact-model ``E(R_X)`` bound at ``p = k/n``.
+
+    Counts, over simple paths of ``i`` variable steps from ``X``, the
+    probability the path exists (``p^i``) times the probability it is a
+    decreasing chain (``1/(i+1)!``).
+    """
+    p = k / n
+    total = 0.0
+    # Running falling-factorial(n-1, i) * p^i, folded to avoid overflow.
+    term = 1.0
+    factorial = 1.0
+    for i in range(1, n):
+        term *= (n - i) * p
+        factorial *= (i + 1)
+        contribution = term / factorial
+        total += contribution
+        if contribution < _CUTOFF * max(total, 1e-300):
+            break
+    return total
+
+
+def theorem_5_2_bound(k: float = 2.0) -> float:
+    """``(e^k - 1 - k) / k``; ~2.19 for the paper's ``k = 2``."""
+    return (math.exp(k) - 1.0 - k) / k

@@ -1,0 +1,168 @@
+"""Monte-Carlo validation of the Section 5 model.
+
+Two simulations:
+
+* :func:`simulate_work` enumerates, per sampled graph, every simple
+  path whose intermediate nodes are variables, and counts which edge
+  additions SF and IF perform through it (SF: always; IF: per the
+  order conditions proved in Lemma 5.3).  Averaging over graphs and
+  orders estimates ``E(X_SF)`` and ``E(X_IF)`` — the quantities the
+  closed-form sums of :mod:`repro.model.formulas` predict.
+
+* :func:`simulate_reachable` measures the number of variables reachable
+  through decreasing chains — the cost of one partial cycle search —
+  validating Theorem 5.2's ``(e^k - 1 - k)/k`` bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .randomgraph import (
+    RandomConstraintGraph,
+    sample_graph,
+    sample_variable_graph,
+)
+
+
+@dataclass(frozen=True)
+class WorkSimulation:
+    """Averaged simple-path edge-addition counts."""
+
+    n: int
+    m: int
+    p: float
+    trials: int
+    mean_work_sf: float
+    mean_work_if: float
+
+    @property
+    def ratio(self) -> float:
+        if self.mean_work_if == 0:
+            return float("inf")
+        return self.mean_work_sf / self.mean_work_if
+
+
+def _count_graph_work(graph: RandomConstraintGraph) -> tuple:
+    """Count SF and IF edge additions through simple paths in one graph."""
+    n = graph.n
+    ranks = graph.ranks
+    work_sf = 0
+    work_if = 0
+
+    def rank_of(node: int) -> float:
+        # Constructed nodes behave like order -infinity: sources and
+        # sinks always sit at the chain's ends.
+        return ranks[node] if node < n else float("-inf")
+
+    # DFS over simple paths whose intermediate nodes are variables.
+    for start in range(graph.num_nodes):
+        start_is_var = graph.is_variable(start)
+        stack: List[tuple] = [(start, (start,))]
+        while stack:
+            node, path = stack.pop()
+            for succ in graph.successors(node):
+                if succ in path:
+                    continue
+                new_path = path + (succ,)
+                if len(new_path) >= 2:
+                    _tally = _tally_path(
+                        new_path, start_is_var, graph, rank_of
+                    )
+                    if _tally is not None:
+                        sf_add, if_add = _tally
+                        work_sf += sf_add
+                        work_if += if_add
+                # Only variables may be intermediate nodes.
+                if graph.is_variable(succ):
+                    stack.append((succ, new_path))
+    return work_sf, work_if
+
+
+def _tally_path(path, start_is_var, graph, rank_of):
+    """Does the closure add edge (path[0], path[-1]) through this path?"""
+    length = len(path)
+    if length < 3:
+        return None  # the edge itself, not an addition
+    end = path[-1]
+    end_is_var = graph.is_variable(end)
+    # SF only propagates sources forward: additions happen for source
+    # start nodes (to variables or sinks).
+    sf_add = 0 if start_is_var else 1
+    # IF adds the edge iff the endpoints carry the two smallest orders
+    # on the path (Lemma 5.3); constructed nodes rank below everything.
+    interior_min = min(rank_of(v) for v in path[1:-1])
+    if rank_of(path[0]) < interior_min and rank_of(end) < interior_min:
+        if_add = 1
+    else:
+        if_add = 0
+    if not start_is_var and not end_is_var:
+        # (c, c'): both representations always add (P = 1).
+        if_add = 1
+    return sf_add, if_add
+
+
+def simulate_work(
+    n: int,
+    m: int,
+    p: float,
+    trials: int = 50,
+    seed: int = 0,
+) -> WorkSimulation:
+    """Estimate expected SF/IF work on the random-graph model."""
+    rng = random.Random(seed)
+    total_sf = 0
+    total_if = 0
+    for _ in range(trials):
+        graph = sample_graph(n, m, p, rng)
+        work_sf, work_if = _count_graph_work(graph)
+        total_sf += work_sf
+        total_if += work_if
+    return WorkSimulation(
+        n, m, p, trials, total_sf / trials, total_if / trials
+    )
+
+
+@dataclass(frozen=True)
+class ReachableSimulation:
+    """Average decreasing-chain reachability (Theorem 5.2 quantity)."""
+
+    n: int
+    k: float
+    trials: int
+    mean_reachable: float
+    max_reachable: int
+
+
+def simulate_reachable(
+    n: int,
+    k: float = 2.0,
+    trials: int = 20,
+    seed: int = 0,
+) -> ReachableSimulation:
+    """Measure E(R_X) empirically at edge probability ``p = k/n``."""
+    rng = random.Random(seed)
+    total = 0
+    count = 0
+    worst = 0
+    for _ in range(trials):
+        graph = sample_variable_graph(n, k / n, rng)
+        ranks = graph.ranks
+        for start in range(n):
+            reached = 0
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for succ in graph.successors(node):
+                    if succ in seen or ranks[succ] >= ranks[node]:
+                        continue
+                    seen.add(succ)
+                    reached += 1
+                    stack.append(succ)
+            total += reached
+            worst = max(worst, reached)
+            count += 1
+    return ReachableSimulation(n, k, trials, total / count, worst)

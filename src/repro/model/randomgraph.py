@@ -1,0 +1,63 @@
+"""Random constraint graphs for Monte-Carlo validation of the model."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass
+class RandomConstraintGraph:
+    """A sampled instance of the Section 5 random-graph model.
+
+    Nodes ``0..n-1`` are variables; nodes ``n..n+m-1`` are constructed
+    (source/sink) nodes.  Every ordered pair of distinct nodes carries
+    an edge independently with probability ``p``.  ``ranks`` assigns a
+    uniformly random total order to the variable nodes.
+    """
+
+    n: int
+    m: int
+    p: float
+    edges: Set[Tuple[int, int]]
+    ranks: List[int]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.n + self.m
+
+    def is_variable(self, node: int) -> bool:
+        return node < self.n
+
+    def successors(self, node: int) -> List[int]:
+        return self._adjacency().get(node, [])
+
+    def _adjacency(self) -> Dict[int, List[int]]:
+        cached = getattr(self, "_adj", None)
+        if cached is None:
+            cached = {}
+            for src, dst in self.edges:
+                cached.setdefault(src, []).append(dst)
+            object.__setattr__(self, "_adj", cached)
+        return cached
+
+
+def sample_graph(n: int, m: int, p: float,
+                 rng: random.Random) -> RandomConstraintGraph:
+    """Sample one random constraint graph from the model."""
+    edges: Set[Tuple[int, int]] = set()
+    total = n + m
+    for src in range(total):
+        for dst in range(total):
+            if src != dst and rng.random() < p:
+                edges.add((src, dst))
+    ranks = list(range(n))
+    rng.shuffle(ranks)
+    return RandomConstraintGraph(n, m, p, edges, ranks)
+
+
+def sample_variable_graph(n: int, p: float,
+                          rng: random.Random) -> RandomConstraintGraph:
+    """Variables only (m = 0); used for the Theorem 5.2 simulation."""
+    return sample_graph(n, 0, p, rng)

@@ -1,0 +1,105 @@
+"""Run the *production solver* on the Section 5 random-graph model.
+
+The Andersen benchmarks live in whatever graph regime real programs
+induce; this module instead feeds the solver random constraint systems
+drawn exactly from the model's distribution (n variables, m constructed
+nodes, each ordered pair an edge with probability p) so the measured
+SF/IF work ratio can be compared with the closed-form prediction of
+Theorem 5.1.
+
+Sources are distinct terms ``k(0)`` and sinks distinct terms ``k(1)``;
+a source meeting a sink resolves to ``0 <= 1`` which is dropped, so —
+matching the model's assumption — the resolution rules contribute no
+edges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..constraints import ConstraintSystem, Variance
+from ..solver import CyclePolicy, GraphForm, SolverOptions, solve
+
+
+def random_constraint_system(
+    n: int, m: int, p: float, seed: int = 0
+) -> ConstraintSystem:
+    """Sample a constraint system from the random-graph model."""
+    rng = random.Random(seed)
+    system = ConstraintSystem(f"model(n={n},m={m})")
+    k = system.constructor("k", (Variance.COVARIANT,))
+    variables = system.fresh_vars(n, "x")
+    sources = [
+        system.term(k, (system.zero,), label=("src", i)) for i in range(m)
+    ]
+    sinks = [
+        system.term(k, (system.one,), label=("snk", i)) for i in range(m)
+    ]
+    # Variable-variable edges.
+    for left in range(n):
+        for right in range(n):
+            if left != right and rng.random() < p:
+                system.add(variables[left], variables[right])
+    # Constructed-node edges: c -> X (source) and X -> c (sink).
+    for c in range(m):
+        for x in range(n):
+            if rng.random() < p:
+                system.add(sources[c], variables[x])
+            if rng.random() < p:
+                system.add(variables[x], sinks[c])
+    return system
+
+
+@dataclass(frozen=True)
+class SolverModelComparison:
+    """Measured SF vs IF work on model-distributed inputs."""
+
+    n: int
+    m: int
+    p: float
+    trials: int
+    mean_work_sf: float
+    mean_work_if: float
+
+    @property
+    def ratio(self) -> float:
+        if self.mean_work_if == 0:
+            return float("inf")
+        return self.mean_work_sf / self.mean_work_if
+
+
+def measure_solver_on_model(
+    n: int,
+    m: int = None,
+    p: float = None,
+    trials: int = 5,
+    seed: int = 0,
+) -> SolverModelComparison:
+    """Solve sampled systems under SF-Oracle and IF-Oracle.
+
+    The oracle policy mirrors the model's simple-paths-only assumption
+    (perfect cycle elimination).  Defaults follow Theorem 5.1:
+    ``m = 2n/3`` and ``p = 1/n``.
+    """
+    if m is None:
+        m = max(1, round(2 * n / 3))
+    if p is None:
+        p = 1.0 / n
+    total_sf = 0
+    total_if = 0
+    for trial in range(trials):
+        system = random_constraint_system(n, m, p, seed=seed + trial)
+        sf = solve(system, SolverOptions(
+            form=GraphForm.STANDARD, cycles=CyclePolicy.ORACLE,
+            seed=seed + trial,
+        ))
+        if_ = solve(system, SolverOptions(
+            form=GraphForm.INDUCTIVE, cycles=CyclePolicy.ORACLE,
+            seed=seed + trial,
+        ))
+        total_sf += sf.stats.work
+        total_if += if_.stats.work
+    return SolverModelComparison(
+        n, m, p, trials, total_sf / trials, total_if / trials
+    )

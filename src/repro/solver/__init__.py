@@ -1,0 +1,46 @@
+"""Constraint solving: one engine, six configurations.
+
+Typical use::
+
+    from repro import ConstraintSystem
+    from repro.solver import solve, SolverOptions, GraphForm, CyclePolicy
+
+    solution = solve(system, SolverOptions(form=GraphForm.INDUCTIVE,
+                                           cycles=CyclePolicy.ONLINE))
+    solution.least_solution(x)
+"""
+
+from __future__ import annotations
+
+from ..constraints.system import ConstraintSystem
+from .engine import SolverEngine
+from .incremental import IncrementalSolver
+from .options import CyclePolicy, GraphForm, SolverOptions
+from .oracle import solve_with_oracle
+from .reference import ReferenceResult, solve_reference
+from .solution import Solution
+
+
+def solve(
+    system: ConstraintSystem, options: SolverOptions = None
+) -> Solution:
+    """Solve ``system`` under ``options`` (defaults to IF-Online)."""
+    if options is None:
+        options = SolverOptions()
+    if options.cycles is CyclePolicy.ORACLE:
+        return solve_with_oracle(system, options)
+    return SolverEngine(system, options).run()
+
+
+__all__ = [
+    "CyclePolicy",
+    "IncrementalSolver",
+    "GraphForm",
+    "ReferenceResult",
+    "Solution",
+    "SolverEngine",
+    "SolverOptions",
+    "solve",
+    "solve_reference",
+    "solve_with_oracle",
+]

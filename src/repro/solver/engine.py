@@ -1,0 +1,169 @@
+"""The resolution engine.
+
+One engine drives all six experiment configurations: it drains a
+worklist of atomic operations, dispatching to the active graph
+representation, which in turn emits further operations.  Every processed
+``vv``/``sv``/``vs`` operation is one unit of Work — the paper's cost
+metric — and ``rr`` operations apply the resolution rules ``R`` to a
+source/sink pair.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, FrozenSet, List, Set, Tuple
+
+from ..constraints.errors import ConstraintDiagnostic
+from ..constraints.expressions import SetExpression, Term, Var
+from ..constraints.resolution import decompose
+from ..constraints.system import ConstraintSystem
+from ..graph.base import (
+    OP_RESOLVE,
+    OP_SINK,
+    OP_SOURCE,
+    OP_VAR_VAR,
+    Op,
+)
+from ..graph.inductive import InductiveGraph
+from ..graph.order import VariableOrder
+from ..graph.standard import StandardGraph
+from ..graph.stats import SolverStats
+from .options import CyclePolicy, GraphForm, SolverOptions
+from .solution import Solution
+
+
+class SolverEngine:
+    """Solve one constraint system under one configuration.
+
+    Engines are single-use: construct, :meth:`run`, discard.  The oracle
+    policy is handled one level up (:func:`repro.solver.solve`) because
+    it needs two engine runs.
+    """
+
+    def __init__(self, system: ConstraintSystem, options: SolverOptions) -> None:
+        if options.cycles is CyclePolicy.ORACLE and options.alias_map is None:
+            raise ValueError(
+                "oracle runs must go through repro.solver.solve, which "
+                "performs the two-phase witness computation"
+            )
+        self.system = system
+        self.options = options
+        self.stats = SolverStats()
+        self.diagnostics: List[ConstraintDiagnostic] = []
+        self.pending: Deque[Op] = deque()
+        order = VariableOrder(options.order_spec(), system.num_vars)
+        graph_class = (
+            StandardGraph
+            if options.form is GraphForm.STANDARD
+            else InductiveGraph
+        )
+        self.graph = graph_class(
+            system.num_vars,
+            order,
+            self.stats,
+            self.pending.append,
+            online_cycles=options.cycles is CyclePolicy.ONLINE,
+            search_mode=options.search_mode,
+            max_search_visits=options.max_search_visits,
+            trace=options.trace,
+        )
+        self.record_var_edges = options.record_var_edges
+        self.var_edges: Set[Tuple[int, int]] = set()
+        self._periodic = options.cycles is CyclePolicy.PERIODIC
+        self._periodic_interval = max(1, options.periodic_interval)
+        self._since_sweep = 0
+        if options.alias_map:
+            for var_index, witness_index in options.alias_map.items():
+                self.graph.alias(var_index, witness_index)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Solution:
+        """Close the graph and compute the least solution."""
+        started = time.perf_counter()
+        append = self.pending.append
+        for left, right in self.system.constraints:
+            append((OP_RESOLVE, left, right))
+        self._drain()
+        self.stats.closure_seconds = time.perf_counter() - started
+        self.graph.finalize_statistics()
+        if self.options.strict and self.diagnostics:
+            solution = self._make_solution({})
+            solution.raise_on_errors()
+        started = time.perf_counter()
+        least = self._least_solution()
+        self.stats.least_solution_seconds = time.perf_counter() - started
+        return self._make_solution(least)
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        pending = self.pending
+        graph = self.graph
+        record = self.record_var_edges
+        var_edges = self.var_edges
+        periodic = self._periodic
+        while pending:
+            tag, first, second = pending.popleft()
+            if tag == OP_VAR_VAR:
+                if record:
+                    var_edges.add((first, second))
+                graph.add_var_var(first, second)
+                if periodic:
+                    self._since_sweep += 1
+                    if self._since_sweep >= self._periodic_interval:
+                        self._since_sweep = 0
+                        self.stats.periodic_sweeps += 1
+                        eliminated = graph.collapse_all_sccs()
+                        if self.options.trace is not None:
+                            self.options.trace(
+                                "sweep", {"eliminated": eliminated}
+                            )
+            elif tag == OP_SOURCE:
+                graph.add_source(first, second)
+            elif tag == OP_SINK:
+                graph.add_sink(first, second)
+            else:
+                self._resolve(first, second)
+
+    def _resolve(self, left: SetExpression, right: SetExpression) -> None:
+        """Apply the resolution rules R and enqueue the atomic results."""
+        self.stats.resolutions += 1
+        atoms: List[Tuple[str, object, object]] = []
+        before = len(self.diagnostics)
+        decompose(left, right, atoms, self.diagnostics)
+        new_clashes = len(self.diagnostics) - before
+        self.stats.clashes += new_clashes
+        if new_clashes and self.options.trace is not None:
+            for diagnostic in self.diagnostics[before:]:
+                self.options.trace(
+                    "clash", {"diagnostic": diagnostic}
+                )
+        append = self.pending.append
+        for tag, a, b in atoms:
+            if tag == OP_VAR_VAR:
+                append((OP_VAR_VAR, a.index, b.index))
+            elif tag == OP_SOURCE:
+                append((OP_SOURCE, a, b.index))
+            else:
+                append((OP_SINK, a.index, b))
+
+    def _least_solution(self) -> Dict[int, FrozenSet[Term]]:
+        graph = self.graph
+        if isinstance(graph, InductiveGraph):
+            return graph.compute_least_solution()
+        return {
+            rep: frozenset(graph.sources[rep])
+            for rep in graph.unionfind.representatives()
+            if rep < graph.num_vars
+        }
+
+    def _make_solution(self, least: Dict[int, FrozenSet[Term]]) -> Solution:
+        return Solution(
+            self.options,
+            self.graph,
+            least,
+            self.stats,
+            self.diagnostics,
+            var_edges=self.var_edges if self.record_var_edges else None,
+            num_vars=self.system.num_vars,
+        )

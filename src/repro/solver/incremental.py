@@ -1,0 +1,109 @@
+"""Incremental solving.
+
+The whole point of *online* cycle elimination is that the solver never
+needs to see the constraint set up front — so expose that: an
+:class:`IncrementalSolver` accepts constraints one at a time (closing
+the graph after each batch) and answers least-solution queries between
+additions.  Batch solving is the special case of one big batch.
+
+Restrictions: the oracle policy needs the final graph and therefore
+cannot run incrementally (use NONE or ONLINE), and variables must be
+created through :meth:`fresh_var` so the graph can grow with them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional
+
+from ..constraints.errors import ConstraintDiagnostic
+from ..constraints.expressions import SetExpression, Term, Var
+from ..constraints.system import ConstraintSystem
+from ..graph.base import OP_RESOLVE
+from ..graph.inductive import InductiveGraph
+from .engine import SolverEngine
+from .options import CyclePolicy, SolverOptions
+
+
+class IncrementalSolver:
+    """Add constraints and query solutions at any time."""
+
+    def __init__(self, options: Optional[SolverOptions] = None) -> None:
+        if options is None:
+            options = SolverOptions()
+        if options.cycles is CyclePolicy.ORACLE:
+            raise ValueError(
+                "the oracle needs the complete constraint set; use "
+                "CyclePolicy.NONE or CyclePolicy.ONLINE incrementally"
+            )
+        self.system = ConstraintSystem("incremental")
+        self.options = options
+        self._engine = SolverEngine(self.system, options)
+        self._least: Optional[Dict[int, FrozenSet[Term]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction API (delegates to the underlying system)
+    # ------------------------------------------------------------------
+    def constructor(self, name, signature=()):
+        return self.system.constructor(name, signature)
+
+    def term(self, constructor, args=(), label=None) -> Term:
+        return self.system.term(constructor, args, label)
+
+    def fresh_var(self, name: str = "") -> Var:
+        var = self.system.fresh_var(name)
+        self._engine.graph.grow(self.system.num_vars)
+        return var
+
+    @property
+    def zero(self) -> Term:
+        return self.system.zero
+
+    @property
+    def one(self) -> Term:
+        return self.system.one
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def add(self, left: SetExpression, right: SetExpression) -> None:
+        """Add one constraint and immediately close the graph."""
+        self.system.add(left, right)
+        started = time.perf_counter()
+        self._engine.pending.append((OP_RESOLVE, left, right))
+        self._engine._drain()
+        self._engine.stats.closure_seconds += time.perf_counter() - started
+        self._least = None  # invalidate
+
+    def add_all(self, pairs) -> None:
+        for left, right in pairs:
+            self.add(left, right)
+
+    def least_solution(self, var: Var) -> FrozenSet[Term]:
+        """Current least solution of ``var`` (recomputed lazily)."""
+        if self._least is None:
+            graph = self._engine.graph
+            if isinstance(graph, InductiveGraph):
+                self._least = graph.compute_least_solution()
+            else:
+                self._least = {
+                    rep: frozenset(graph.sources[rep])
+                    for rep in graph.unionfind.representatives()
+                    if rep < graph.num_vars
+                }
+        rep = self._engine.graph.find(var.index)
+        return self._least.get(rep, frozenset())
+
+    def same_component(self, a: Var, b: Var) -> bool:
+        return (
+            self._engine.graph.find(a.index)
+            == self._engine.graph.find(b.index)
+        )
+
+    @property
+    def stats(self):
+        return self._engine.stats
+
+    @property
+    def diagnostics(self) -> List[ConstraintDiagnostic]:
+        return self._engine.diagnostics

@@ -1,0 +1,98 @@
+"""Solver configuration.
+
+The cross product of :class:`GraphForm` and :class:`CyclePolicy` yields
+the six experiments of paper Table 4:
+
+=============  ==================  =================================
+Experiment     form                cycles
+=============  ==================  =================================
+SF-Plain       ``STANDARD``        ``NONE``
+IF-Plain       ``INDUCTIVE``       ``NONE``
+SF-Oracle      ``STANDARD``        ``ORACLE``
+IF-Oracle      ``INDUCTIVE``       ``ORACLE``
+SF-Online      ``STANDARD``        ``ONLINE``
+IF-Online      ``INDUCTIVE``       ``ONLINE``
+=============  ==================  =================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, Optional
+
+from ..graph.cycles import SearchMode
+from ..graph.order import OrderSpec, RandomOrder
+
+
+class GraphForm(enum.Enum):
+    """Which solved form the solver maintains (paper Sections 2.3/2.4)."""
+
+    STANDARD = "SF"
+    INDUCTIVE = "IF"
+
+
+class CyclePolicy(enum.Enum):
+    """How cycles in the constraint graph are treated."""
+
+    #: no cycle elimination at all (the "Plain" experiments)
+    NONE = "plain"
+    #: partial online detection and elimination at every edge insertion
+    ONLINE = "online"
+    #: perfect, zero-cost elimination via the two-phase oracle (Section 4)
+    ORACLE = "oracle"
+    #: offline SCC collapse every N edge additions — the *periodic
+    #: simplification* strategy of prior work the paper's introduction
+    #: argues against ([FA96, FF97, MW97])
+    PERIODIC = "periodic"
+
+
+@dataclasses.dataclass
+class SolverOptions:
+    """Options accepted by :func:`repro.solver.solve`."""
+
+    form: GraphForm = GraphForm.INDUCTIVE
+    cycles: CyclePolicy = CyclePolicy.ONLINE
+    #: variable order o(.); defaults to a seeded random order
+    order: Optional[OrderSpec] = None
+    #: seed for the default random order
+    seed: int = 0
+    #: chain-search direction (only meaningful for SF online; the paper's
+    #: algorithm is DECREASING, INCREASING is the Section 4 ablation)
+    search_mode: SearchMode = SearchMode.DECREASING
+    #: optional visit budget per cycle search (None = unbounded)
+    max_search_visits: Optional[int] = None
+    #: record every processed var-var constraint over original variable
+    #: ids (needed for final-graph SCC statistics and by the oracle)
+    record_var_edges: bool = False
+    #: pre-collapse map variable-index -> witness-index (oracle phase 2)
+    alias_map: Optional[Dict[int, int]] = None
+    #: for CyclePolicy.PERIODIC: run a full SCC sweep every this many
+    #: processed variable-variable edge additions
+    periodic_interval: int = 1000
+    #: raise InconsistentConstraintError on the first clash
+    strict: bool = False
+    #: optional observer called as trace(event, payload) for solver
+    #: events: "collapse" (a cycle was eliminated), "sweep" (a periodic
+    #: SCC pass ran), "clash" (an inconsistency was recorded)
+    trace: Optional[Callable[[str, dict], None]] = None
+
+    def order_spec(self) -> OrderSpec:
+        return self.order if self.order is not None else RandomOrder(self.seed)
+
+    def replace(self, **changes: object) -> "SolverOptions":
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def label(self) -> str:
+        """Experiment-style label, e.g. ``"IF-Online"``."""
+        if self.cycles is CyclePolicy.PERIODIC:
+            return (
+                f"{self.form.value}-Periodic({self.periodic_interval})"
+            )
+        policy = {
+            CyclePolicy.NONE: "Plain",
+            CyclePolicy.ONLINE: "Online",
+            CyclePolicy.ORACLE: "Oracle",
+        }[self.cycles]
+        return f"{self.form.value}-{policy}"

@@ -1,0 +1,98 @@
+"""A deliberately naive reference solver used only for validation.
+
+Computes the least solution of a constraint system by brute-force
+fixed-point iteration over explicit relation sets, with none of the
+graph-representation cleverness of the real engine.  Exponentially safer
+to audit, polynomially slower to run — tests compare the production
+engine's output against this on small systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..constraints.errors import ConstraintDiagnostic
+from ..constraints.expressions import SetExpression, Term, Var
+from ..constraints.resolution import (
+    SOURCE_VAR,
+    VAR_SINK,
+    VAR_VAR,
+    decompose,
+)
+from ..constraints.system import ConstraintSystem
+
+
+class ReferenceResult:
+    """Least solution and diagnostics from the reference solver."""
+
+    def __init__(
+        self,
+        least: Dict[int, FrozenSet[Term]],
+        diagnostics: List[ConstraintDiagnostic],
+    ) -> None:
+        self._least = least
+        self.diagnostics = diagnostics
+
+    def least_solution(self, var: Var) -> FrozenSet[Term]:
+        return self._least.get(var.index, frozenset())
+
+
+def solve_reference(system: ConstraintSystem) -> ReferenceResult:
+    """Solve by saturating all atomic relations to a fixed point."""
+    var_var: Set[Tuple[int, int]] = set()
+    sources: Dict[int, Set[Term]] = {}
+    sinks: Dict[int, Set[Term]] = {}
+    diagnostics: List[ConstraintDiagnostic] = []
+    resolved: Set[Tuple[Term, Term]] = set()
+
+    queue: List[Tuple[SetExpression, SetExpression]] = list(system.constraints)
+    atoms: List[Tuple[str, object, object]] = []
+    while True:
+        # Decompose everything currently queued into atomic facts.
+        changed = False
+        for left, right in queue:
+            decompose(left, right, atoms, diagnostics)
+        queue = []
+        for tag, a, b in atoms:
+            if tag == VAR_VAR:
+                fact = (a.index, b.index)
+                if fact not in var_var and fact[0] != fact[1]:
+                    var_var.add(fact)
+                    changed = True
+            elif tag == SOURCE_VAR:
+                bucket = sources.setdefault(b.index, set())
+                if a not in bucket:
+                    bucket.add(a)
+                    changed = True
+            elif tag == VAR_SINK:
+                bucket = sinks.setdefault(a.index, set())
+                if b not in bucket:
+                    bucket.add(b)
+                    changed = True
+        atoms = []
+
+        # Transitive propagation: X <= Y carries sources of X into Y.
+        for x_index, y_index in list(var_var):
+            for term in list(sources.get(x_index, ())):
+                bucket = sources.setdefault(y_index, set())
+                if term not in bucket:
+                    bucket.add(term)
+                    changed = True
+
+        # Sources meeting sinks re-enter through the resolution rules.
+        for var_index, var_sinks in sinks.items():
+            for sink_term in list(var_sinks):
+                for source_term in list(sources.get(var_index, ())):
+                    pair = (source_term, sink_term)
+                    if pair not in resolved:
+                        resolved.add(pair)
+                        queue.append(pair)
+                        changed = True
+
+        if not changed and not queue:
+            break
+
+    least = {
+        index: frozenset(terms) for index, terms in sources.items()
+    }
+    return ReferenceResult(least, diagnostics)

@@ -1,0 +1,101 @@
+"""Solved constraint systems.
+
+A :class:`Solution` bundles the least solution, the final graph, the
+statistics of the run, and any inconsistency diagnostics.  It is
+immutable from the caller's perspective; all queries are read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..constraints.errors import (
+    ConstraintDiagnostic,
+    InconsistentConstraintError,
+)
+from ..constraints.expressions import Term, Var
+from ..graph.base import ConstraintGraphBase
+from ..graph.scc import SccSummary, summarize_sccs
+from ..graph.stats import SolverStats
+from .options import SolverOptions
+
+
+class Solution:
+    """The result of solving a constraint system."""
+
+    def __init__(
+        self,
+        options: SolverOptions,
+        graph: ConstraintGraphBase,
+        least: Dict[int, FrozenSet[Term]],
+        stats: SolverStats,
+        diagnostics: List[ConstraintDiagnostic],
+        var_edges: Optional[Set[Tuple[int, int]]] = None,
+        num_vars: int = 0,
+    ) -> None:
+        self.options = options
+        self.graph = graph
+        self._least = least
+        self.stats = stats
+        self.diagnostics = diagnostics
+        #: processed var-var constraints over original variable ids
+        #: (present only when options.record_var_edges was set)
+        self.var_edges = var_edges
+        self.num_vars = num_vars
+        #: filled by the oracle driver: the phase-1 (plain) solution
+        self.oracle_phase1: Optional["Solution"] = None
+        #: number of variables pre-collapsed by the oracle witness map
+        self.oracle_witnessed: int = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def least_solution(self, var: Var) -> FrozenSet[Term]:
+        """The least solution of ``var``: a set of source terms."""
+        rep = self.graph.find(var.index)
+        return self._least.get(rep, frozenset())
+
+    def least_solution_by_index(self, index: int) -> FrozenSet[Term]:
+        rep = self.graph.find(index)
+        return self._least.get(rep, frozenset())
+
+    def representative(self, var: Var) -> int:
+        """The witness index ``var`` was collapsed onto (itself if none)."""
+        return self.graph.find(var.index)
+
+    def same_component(self, a: Var, b: Var) -> bool:
+        """Whether two variables were collapsed together."""
+        return self.graph.find(a.index) == self.graph.find(b.index)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def raise_on_errors(self) -> None:
+        """Raise on the first recorded inconsistency, if any."""
+        if self.diagnostics:
+            raise InconsistentConstraintError(self.diagnostics[0])
+
+    # ------------------------------------------------------------------
+    # Final-graph SCC statistics (Table 1 / Figure 11 denominators)
+    # ------------------------------------------------------------------
+    def final_scc_summary(self) -> SccSummary:
+        """SCC summary of the processed var-var constraint graph.
+
+        Requires the run to have recorded var-var edges
+        (``options.record_var_edges``); meaningful for plain runs, where
+        variable ids are never collapsed.
+        """
+        if self.var_edges is None:
+            raise ValueError(
+                "var-var edges were not recorded; re-solve with "
+                "record_var_edges=True"
+            )
+        return summarize_sccs(range(self.num_vars), self.var_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"Solution({self.options.label}, work={self.stats.work}, "
+            f"edges={self.stats.final_edges}, "
+            f"eliminated={self.stats.vars_eliminated})"
+        )

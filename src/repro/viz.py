@@ -1,0 +1,93 @@
+"""Graphviz (DOT) export for constraint graphs and points-to graphs.
+
+Purely textual — no graphviz dependency; feed the output to ``dot``::
+
+    from repro.viz import constraint_graph_dot
+    open("graph.dot", "w").write(constraint_graph_dot(solution))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .solver.solution import Solution
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def constraint_graph_dot(
+    solution: Solution,
+    max_nodes: Optional[int] = 200,
+    name: str = "constraints",
+) -> str:
+    """Render the final constraint graph of a solved system.
+
+    Variable-variable successor edges are solid, predecessor edges
+    dotted (the paper's drawing convention); sources and sinks appear as
+    box nodes.  Collapsed variables are shown merged (only
+    representatives are drawn).
+    """
+    graph = solution.graph
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    reps = [
+        rep for rep in graph.unionfind.representatives()
+        if rep < graph.num_vars
+    ]
+    if max_nodes is not None:
+        reps = reps[:max_nodes]
+    shown = set(reps)
+    for rep in reps:
+        lines.append(
+            f"  v{rep} [label={_quote(f'v{rep}')} shape=ellipse];"
+        )
+    term_ids = {}
+
+    def term_node(term) -> str:
+        """Intern a term as a box node, returning its DOT id."""
+        key = (str(term),)
+        node = term_ids.get(key)
+        if node is None:
+            node = f"t{len(term_ids)}"
+            term_ids[key] = node
+            lines.append(
+                f"  {node} [label={_quote(str(term))} shape=box];"
+            )
+        return node
+
+    for rep in reps:
+        for succ in sorted(graph.canonical_successors(rep)):
+            if succ in shown:
+                lines.append(f"  v{rep} -> v{succ};")
+        for pred in sorted(graph.canonical_predecessors(rep)):
+            if pred in shown:
+                lines.append(f"  v{pred} -> v{rep} [style=dotted];")
+        for term in sorted(graph.sources[rep], key=str):
+            lines.append(
+                f"  {term_node(term)} -> v{rep} [style=dotted];"
+            )
+        for term in sorted(graph.sinks[rep], key=str):
+            lines.append(f"  v{rep} -> {term_node(term)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def points_to_dot(result, name: str = "points_to") -> str:
+    """Render an Andersen points-to graph (paper Figure 5 style)."""
+    lines = [f"digraph {_quote(name)} {{"]
+    for location, targets in sorted(
+        result.graph.items(), key=lambda item: item[0].name
+    ):
+        if not targets:
+            continue
+        lines.append(
+            f"  {_quote(location.name)} [shape=ellipse];"
+        )
+        for target in sorted(targets, key=lambda t: t.name):
+            lines.append(
+                f"  {_quote(location.name)} -> {_quote(target.name)};"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

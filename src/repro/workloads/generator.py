@@ -1,0 +1,538 @@
+"""Synthetic C benchmark generator.
+
+The paper evaluates on 20+ real C programs (Table 1).  Those sources and
+the production frontend that preprocessed them are not available here,
+so we generate *synthetic* C programs that exercise the same
+constraint-graph phenomena:
+
+* sparse initial graphs (edge density around 1/n, the regime the
+  Section 5 model assumes);
+* pointer-parameter passing and returned pointers, which create long
+  variable-variable constraint chains;
+* feedback assignments (``g = f(g); p = q; q = p;``), double-pointer
+  swaps, linked-structure updates — the motifs that make strongly
+  connected components *emerge during closure* (the paper notes fewer
+  than 20 % of final-SCC variables are cyclic initially);
+* function pointers and heap allocation for realism;
+* plain scalar code so the vars-per-AST-node ratio resembles Table 1.
+
+Structure matters as much as size: real programs consist of modules
+with *local* pointer recycling and mostly one-directional flow between
+modules.  The generator therefore groups functions into **clusters**,
+each owning its own global pools.  Feedback (which closes cycles) stays
+within a cluster, producing many small-to-medium SCCs; values flow
+across clusters only from lower-numbered to higher-numbered clusters,
+producing the deep acyclic chains on which standard form's redundant
+re-propagation shows (Section 2.3's ``2lk`` example).
+
+Generation is deterministic in the seed, and emits C *source text* so
+the lexer/parser substrate is exercised at full scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and shape knobs for one synthetic benchmark."""
+
+    name: str
+    seed: int = 0
+    #: number of generated functions (main is extra)
+    functions: int = 10
+    #: functions per cluster (each cluster owns its global pools)
+    cluster_size: int = 6
+    #: global variables per pointer kind *per cluster*
+    globals_per_kind: int = 3
+    #: number of struct types
+    structs: int = 2
+    #: statements per function body (uniform range)
+    statements: Sequence[int] = (4, 10)
+    #: calls issued from main per generated function
+    main_calls_per_function: int = 2
+    #: probability that a call result is fed back into its argument pool
+    #: (within-cluster only: this is what closes cycles)
+    feedback: float = 0.5
+    #: probability of a one-way read from an earlier cluster's pools
+    cross_flow: float = 0.25
+    #: probability of routing a call through a function pointer
+    fnptr: float = 0.15
+    #: probability a function contains a heap allocation
+    heap: float = 0.3
+    #: fraction of functions that are pure scalar filler
+    scalar_fraction: float = 0.3
+    #: size of the program-wide shared pointer pool
+    shared_pool: int = 6
+    #: probability a pointer-heavy function couples (both directions)
+    #: with the shared pool; this is what lets SCC size grow with
+    #: program size, as in real programs with widely shared globals
+    shared_rw: float = 0.25
+
+
+class _Cluster:
+    """Per-cluster variable pools."""
+
+    __slots__ = ("index", "ints", "ptrs", "pptrs", "nodes", "fnptrs")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.ints: List[str] = []
+        self.ptrs: List[str] = []
+        self.pptrs: List[str] = []
+        self.nodes: List[str] = []
+        self.fnptrs: List[str] = []
+
+
+class CProgramGenerator:
+    """Emit one synthetic C translation unit for a config."""
+
+    def __init__(self, config: GeneratorConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.lines: List[str] = []
+        self.struct_names: List[str] = []
+        self.clusters: List[_Cluster] = []
+        self.shared = _Cluster(-1)
+        #: (name, shape tag, struct, cluster index)
+        self.function_shapes: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        n_clusters = max(
+            1, (self.config.functions + self.config.cluster_size - 1)
+            // self.config.cluster_size
+        )
+        self.clusters = [_Cluster(i) for i in range(n_clusters)]
+        self._emit_structs()
+        self._emit_globals()
+        self._emit_prototypes()
+        self._emit_functions()
+        self._emit_main()
+        return "\n".join(self.lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    def _emit_structs(self) -> None:
+        for index in range(max(1, self.config.structs)):
+            name = f"node{index}"
+            self.struct_names.append(name)
+            self.lines.append(f"struct {name} {{")
+            self.lines.append(f"    struct {name} *next;")
+            self.lines.append(f"    struct {name} *prev;")
+            self.lines.append("    int *data;")
+            self.lines.append("    int value;")
+            self.lines.append("};")
+        self.lines.append("")
+
+    def _emit_globals(self) -> None:
+        count = max(2, self.config.globals_per_kind)
+        for cluster in self.clusters:
+            tag = cluster.index
+            for index in range(count * 2):
+                name = f"c{tag}_i{index}"
+                cluster.ints.append(name)
+                self.lines.append(f"int {name};")
+            for index in range(count):
+                name = f"c{tag}_p{index}"
+                cluster.ptrs.append(name)
+                target = self.rng.choice(cluster.ints)
+                self.lines.append(f"int *{name} = &{target};")
+            for index in range(max(1, count // 2)):
+                name = f"c{tag}_pp{index}"
+                cluster.pptrs.append(name)
+                target = self.rng.choice(cluster.ptrs)
+                self.lines.append(f"int **{name} = &{target};")
+            for index in range(max(2, count // 2)):
+                struct = self.rng.choice(self.struct_names)
+                name = f"c{tag}_n{index}"
+                cluster.nodes.append(name)
+                self.lines.append(f"struct {struct} *{name};")
+            name = f"c{tag}_f0"
+            cluster.fnptrs.append(name)
+            self.lines.append(f"int *(*{name})(int *, int *);")
+        for index in range(max(2, self.config.shared_pool)):
+            name = f"sh_i{index}"
+            self.shared.ints.append(name)
+            self.lines.append(f"int {name};")
+        for index in range(max(2, self.config.shared_pool)):
+            name = f"sh_p{index}"
+            self.shared.ptrs.append(name)
+            self.lines.append(f"int *{name} = &{self.rng.choice(self.shared.ints)};")
+        for index in range(max(1, self.config.shared_pool // 3)):
+            name = f"sh_n{index}"
+            self.shared.nodes.append(name)
+            struct = self.rng.choice(self.struct_names)
+            self.lines.append(f"struct {struct} *{name};")
+        self.lines.append("")
+
+    # The function shape palette.
+    _SHAPES = (
+        ("ptrfun", "int *{name}(int *a, int *b)"),
+        ("swap", "void {name}(int **u, int **v)"),
+        ("listop", "struct {struct} *{name}(struct {struct} *head)"),
+        ("scalar", "int {name}(int x, int y)"),
+        ("connector", "void {name}(void)"),
+        ("dispatch", "int *{name}(int *(*fp)(int *, int *), int *arg)"),
+        ("alloc", "struct {struct} *{name}(int n)"),
+    )
+
+    def _pick_shape(self, index: int) -> tuple:
+        rng = self.rng
+        if rng.random() < self.config.scalar_fraction:
+            return self._SHAPES[3]
+        if index < len(self._SHAPES):
+            return self._SHAPES[index % len(self._SHAPES)]
+        weights = (5, 3, 4, 0, 3, 2, 3)
+        return rng.choices(self._SHAPES, weights=weights, k=1)[0]
+
+    def _emit_prototypes(self) -> None:
+        for index in range(self.config.functions):
+            shape = self._pick_shape(index)
+            name = f"fn{index}"
+            struct = self.rng.choice(self.struct_names)
+            cluster = index % len(self.clusters)
+            signature = shape[1].format(name=name, struct=struct)
+            self.function_shapes.append((name, shape[0], struct, cluster))
+            self.lines.append(f"{signature};")
+        self.lines.append("")
+
+    def _emit_functions(self) -> None:
+        for name, tag, struct, cluster in self.function_shapes:
+            emitter = getattr(self, f"_body_{tag}")
+            emitter(name, struct, self.clusters[cluster])
+            self.lines.append("")
+
+    # ------------------------------------------------------------------
+    # Pool pickers — reads may come from earlier clusters (one-way
+    # flow); writes stay within the function's own cluster.
+    # ------------------------------------------------------------------
+    def _read_cluster(self, own: _Cluster) -> _Cluster:
+        rng = self.rng
+        if own.index > 0 and rng.random() < self.config.cross_flow:
+            return self.clusters[rng.randrange(own.index)]
+        return own
+
+    def _random_int_expr(self, cluster: _Cluster) -> str:
+        rng = self.rng
+        source = self._read_cluster(cluster)
+        choices = [
+            str(rng.randrange(100)),
+            rng.choice(source.ints),
+            f"{rng.choice(source.ints)} + {rng.randrange(10)}",
+        ]
+        return rng.choice(choices)
+
+    def _random_ptr_source(self, cluster: _Cluster,
+                           params: Sequence[str] = ()) -> str:
+        """An expression of type int*, read from own or earlier cluster."""
+        rng = self.rng
+        source = self._read_cluster(cluster)
+        options = [
+            f"&{rng.choice(source.ints)}",
+            rng.choice(source.ptrs),
+            f"*{rng.choice(source.pptrs)}",
+        ]
+        options.extend(params)
+        return rng.choice(options)
+
+    # ------------------------------------------------------------------
+    # Bodies
+    # ------------------------------------------------------------------
+    def _body_ptrfun(self, name: str, struct: str, cluster: _Cluster) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append(f"int *{name}(int *a, int *b)")
+        lines.append("{")
+        lines.append("    int *t0;")
+        lines.append("    int *t1;")
+        lines.append("    t0 = a;")
+        lines.append("    t1 = b;")
+        for _ in range(self._statement_count()):
+            kind = rng.randrange(6)
+            if kind == 0:
+                source = self._random_ptr_source(cluster, ("a", "b", "t1"))
+                lines.append(f"    t0 = {source};")
+            elif kind == 1:
+                lines.append(
+                    f"    {rng.choice(cluster.ptrs)} = t{rng.randrange(2)};"
+                )
+            elif kind == 2:
+                lines.append(
+                    f"    *{rng.choice(cluster.pptrs)} = t{rng.randrange(2)};"
+                )
+            elif kind == 3:
+                lines.append(f"    t1 = {rng.choice(cluster.ptrs)};")
+            elif kind == 4:
+                lines.append(
+                    f"    if ({self._random_int_expr(cluster)} > "
+                    f"{rng.randrange(50)}) t0 = t1; else t1 = t0;"
+                )
+            else:
+                lines.append(f"    *t0 = *t1 + {rng.randrange(10)};")
+        if rng.random() < self.config.shared_rw:
+            shared = rng.choice(self.shared.ptrs)
+            local = rng.choice(cluster.ptrs)
+            lines.append(f"    {shared} = t0;")
+            lines.append(f"    {local} = {shared};")
+        returned = rng.choice(("a", "b", "t0", "t1",
+                               rng.choice(cluster.ptrs)))
+        lines.append(f"    return {returned};")
+        lines.append("}")
+
+    def _body_swap(self, name: str, struct: str, cluster: _Cluster) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append(f"void {name}(int **u, int **v)")
+        lines.append("{")
+        lines.append("    int *tmp;")
+        lines.append("    tmp = *u;")
+        lines.append("    *u = *v;")
+        lines.append("    *v = tmp;")
+        for _ in range(self._statement_count() // 2):
+            kind = rng.randrange(3)
+            if kind == 0:
+                lines.append(f"    {rng.choice(cluster.pptrs)} = u;")
+            elif kind == 1:
+                source = self._random_ptr_source(cluster, ("tmp",))
+                lines.append(f"    *u = {source};")
+            else:
+                lines.append(f"    tmp = *{rng.choice(('u', 'v'))};")
+        lines.append("}")
+
+    def _body_listop(self, name: str, struct: str, cluster: _Cluster) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append(f"struct {struct} *{name}(struct {struct} *head)")
+        lines.append("{")
+        lines.append(f"    struct {struct} *cur;")
+        lines.append(f"    struct {struct} *nxt;")
+        lines.append("    cur = head;")
+        lines.append("    while (cur != 0) {")
+        lines.append("        nxt = cur->next;")
+        if rng.random() < 0.5:
+            lines.append("        cur->prev = nxt;")
+        if rng.random() < 0.5:
+            lines.append(
+                f"        cur->data = {self._random_ptr_source(cluster)};"
+            )
+        if rng.random() < 0.4:
+            # Reversal motif: cycles among the nodes' contents.
+            lines.append("        cur->next = cur->prev;")
+        lines.append("        cur = nxt;")
+        lines.append("    }")
+        node_global = rng.choice(cluster.nodes)
+        lines.append(f"    if (head != 0) {node_global} = head->next;")
+        lines.append(
+            f"    return {rng.choice(('head', 'cur', node_global))};"
+        )
+        lines.append("}")
+
+    def _body_scalar(self, name: str, struct: str, cluster: _Cluster) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append(f"int {name}(int x, int y)")
+        lines.append("{")
+        lines.append("    int acc;")
+        lines.append("    int i;")
+        lines.append("    acc = x;")
+        lines.append("    for (i = 0; i < y; i++) {")
+        lines.append(f"        acc = acc * {rng.randrange(2, 9)} + i;")
+        lines.append(
+            f"        if (acc > {rng.randrange(1000)}) acc = acc - y;"
+        )
+        lines.append("    }")
+        for _ in range(self._statement_count() // 2):
+            target = rng.choice(cluster.ints)
+            lines.append(
+                f"    {target} = acc + {self._random_int_expr(cluster)};"
+            )
+        lines.append("    return acc;")
+        lines.append("}")
+
+    def _body_connector(self, name: str, struct: str,
+                        cluster: _Cluster) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append(f"void {name}(void)")
+        lines.append("{")
+        for _ in range(self._statement_count()):
+            kind = rng.randrange(4)
+            if kind == 0:
+                target = rng.choice(cluster.ptrs)
+                source = self._random_ptr_source(cluster)
+                lines.append(f"    {target} = {source};")
+            elif kind == 1:
+                target = rng.choice(cluster.pptrs)
+                lines.append(f"    {target} = &{rng.choice(cluster.ptrs)};")
+            elif kind == 2:
+                target = rng.choice(cluster.ptrs)
+                lines.append(f"    {target} = *{rng.choice(cluster.pptrs)};")
+            else:
+                source_pool = self._read_cluster(cluster).nodes
+                target = rng.choice(cluster.nodes)
+                lines.append(f"    {target} = {rng.choice(source_pool)};")
+        if rng.random() < self.config.shared_rw:
+            shared = rng.choice(self.shared.ptrs)
+            local = rng.choice(cluster.ptrs)
+            lines.append(f"    {shared} = {local};")
+            lines.append(f"    {local} = {rng.choice(self.shared.ptrs)};")
+            node_shared = rng.choice(self.shared.nodes)
+            node_local = rng.choice(cluster.nodes)
+            lines.append(f"    {node_shared} = {node_local};")
+            lines.append(f"    {node_local} = {node_shared};")
+        if rng.random() < self.config.feedback:
+            # Close a small local cycle explicitly.
+            first, second = rng.sample(cluster.ptrs, 2) if len(
+                cluster.ptrs
+            ) >= 2 else (cluster.ptrs[0], cluster.ptrs[0])
+            lines.append(f"    {first} = {second};")
+            lines.append(f"    {second} = {first};")
+        lines.append("}")
+
+    def _body_dispatch(self, name: str, struct: str,
+                       cluster: _Cluster) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append(f"int *{name}(int *(*fp)(int *, int *), int *arg)")
+        lines.append("{")
+        lines.append("    int *out;")
+        lines.append(f"    out = fp(arg, {rng.choice(cluster.ptrs)});")
+        if rng.random() < 0.5:
+            lines.append(f"    {rng.choice(cluster.ptrs)} = out;")
+        if cluster.fnptrs and rng.random() < 0.5:
+            lines.append(f"    {rng.choice(cluster.fnptrs)} = fp;")
+        lines.append("    return out;")
+        lines.append("}")
+
+    def _body_alloc(self, name: str, struct: str, cluster: _Cluster) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append(f"struct {struct} *{name}(int n)")
+        lines.append("{")
+        lines.append(f"    struct {struct} *fresh;")
+        lines.append(
+            f"    fresh = (struct {struct} *)"
+            f"malloc(sizeof(struct {struct}));"
+        )
+        lines.append("    fresh->value = n;")
+        lines.append(f"    fresh->data = {self._random_ptr_source(cluster)};")
+        node_global = rng.choice(cluster.nodes)
+        lines.append(f"    fresh->next = {node_global};")
+        lines.append(f"    {node_global} = fresh;")
+        lines.append("    return fresh;")
+        lines.append("}")
+
+    def _statement_count(self) -> int:
+        low, high = self.config.statements
+        return self.rng.randint(low, high)
+
+    # ------------------------------------------------------------------
+    # main: wire everything together; feedback stays within a cluster.
+    # ------------------------------------------------------------------
+    def _emit_main(self) -> None:
+        rng = self.rng
+        lines = self.lines
+        lines.append("int main(void)")
+        lines.append("{")
+        lines.append("    int *lp0;")
+        lines.append("    int *lp1;")
+        lines.append("    int rc;")
+        struct = self.struct_names[0]
+        first = self.clusters[0]
+        lines.append(f"    struct {struct} *ln;")
+        lines.append(f"    lp0 = {self._random_ptr_source(first)};")
+        lines.append(f"    lp1 = &{rng.choice(first.ints)};")
+        lines.append("    rc = 0;")
+        lines.append("    ln = 0;")
+        ptr_functions = [
+            entry for entry in self.function_shapes if entry[1] == "ptrfun"
+        ]
+        for name, tag, struct, cluster_index in self.function_shapes:
+            cluster = self.clusters[cluster_index]
+            for _ in range(self.config.main_calls_per_function):
+                self._emit_main_call(name, tag, struct, cluster,
+                                     ptr_functions)
+        # Chain results across clusters one way: deep acyclic flow.
+        # Several independent passes create the long source-carrying
+        # chains (and diamonds) on which SF's redundant re-propagation
+        # shows (the 2lk example of Section 2.3).
+        for _ in range(3):
+            previous = None
+            for cluster in self.clusters:
+                if previous is not None:
+                    target = rng.choice(cluster.ptrs)
+                    source = rng.choice(previous.ptrs)
+                    lines.append(f"    {target} = {source};")
+                    if rng.random() < 0.5:
+                        node_target = rng.choice(cluster.nodes)
+                        node_source = rng.choice(previous.nodes)
+                        lines.append(f"    {node_target} = {node_source};")
+                previous = cluster
+        lines.append("    return rc;")
+        lines.append("}")
+
+    def _emit_main_call(
+        self,
+        name: str,
+        tag: str,
+        struct: str,
+        cluster: _Cluster,
+        ptr_functions: List[tuple],
+    ) -> None:
+        rng = self.rng
+        lines = self.lines
+        feedback = rng.random() < self.config.feedback
+        ptr_pool = cluster.ptrs + ["lp0", "lp1"]
+        if tag == "ptrfun":
+            target = rng.choice(ptr_pool)
+            arg_a = self._random_ptr_source(cluster, ("lp0", "lp1"))
+            arg_b = self._random_ptr_source(cluster, ("lp0", "lp1"))
+            if cluster.fnptrs and rng.random() < self.config.fnptr:
+                pointer = rng.choice(cluster.fnptrs)
+                lines.append(f"    {pointer} = {name};")
+                lines.append(f"    {target} = {pointer}({arg_a}, {arg_b});")
+            else:
+                lines.append(f"    {target} = {name}({arg_a}, {arg_b});")
+            if feedback:
+                back = arg_a if arg_a[0] not in "&*" else "lp0"
+                lines.append(f"    {back} = {target};")
+        elif tag == "swap":
+            first = rng.choice(ptr_pool)
+            second = rng.choice(ptr_pool)
+            lines.append(f"    {name}(&{first}, &{second});")
+        elif tag in ("listop", "alloc"):
+            node_pool = cluster.nodes + ["ln"]
+            target = rng.choice(node_pool)
+            argument = (
+                rng.choice(node_pool) if tag == "listop"
+                else str(rng.randrange(64))
+            )
+            lines.append(f"    {target} = {name}({argument});")
+            if feedback and tag == "listop":
+                lines.append(f"    {argument} = {target};")
+        elif tag == "scalar":
+            lines.append(
+                f"    rc = rc + {name}({self._random_int_expr(cluster)}, "
+                f"{rng.randrange(16)});"
+            )
+        elif tag == "connector":
+            lines.append(f"    {name}();")
+        elif tag == "dispatch":
+            if not ptr_functions:
+                return
+            callee = rng.choice(ptr_functions)[0]
+            target = rng.choice(ptr_pool)
+            argument = self._random_ptr_source(cluster, ("lp0", "lp1"))
+            lines.append(f"    {target} = {name}({callee}, {argument});")
+            if feedback:
+                lines.append(f"    lp1 = {target};")
+
+
+def generate_program(config: GeneratorConfig) -> str:
+    """Generate the C source for one benchmark configuration."""
+    return CProgramGenerator(config).generate()

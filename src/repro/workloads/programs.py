@@ -1,0 +1,303 @@
+"""Hand-written miniature C programs.
+
+Small, realistic inputs with *known* points-to answers, used by tests,
+examples, and the quickstart.  Each entry is plain C source accepted by
+:func:`repro.cfront.parse`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The paper's Figure 5 program: a = &b; b = &d; a = &c; c = &b;
+FIGURE5 = """
+int *a;
+int *b;
+int *c;
+int d;
+
+int main(void)
+{
+    a = (int *)&b;
+    b = &d;
+    a = (int *)&c;
+    c = (int *)&b;
+    return 0;
+}
+"""
+
+LINKED_LIST = """
+struct list {
+    struct list *next;
+    int *payload;
+};
+
+struct list *head;
+int slot0, slot1;
+
+struct list *cons(struct list *tail, int *value)
+{
+    struct list *cell;
+    cell = (struct list *)malloc(sizeof(struct list));
+    cell->next = tail;
+    cell->payload = value;
+    return cell;
+}
+
+struct list *reverse(struct list *node)
+{
+    struct list *previous;
+    struct list *following;
+    previous = 0;
+    while (node != 0) {
+        following = node->next;
+        node->next = previous;
+        previous = node;
+        node = following;
+    }
+    return previous;
+}
+
+int main(void)
+{
+    head = cons(head, &slot0);
+    head = cons(head, &slot1);
+    head = reverse(head);
+    return head->payload != 0;
+}
+"""
+
+SWAP_CYCLE = """
+int x, y;
+int *p, *q;
+
+void swap(int **u, int **v)
+{
+    int *tmp;
+    tmp = *u;
+    *u = *v;
+    *v = tmp;
+}
+
+int main(void)
+{
+    p = &x;
+    q = &y;
+    swap(&p, &q);
+    swap(&q, &p);
+    return *p + *q;
+}
+"""
+
+FUNCTION_POINTERS = """
+int a, b;
+
+int *first(int *u, int *v) { return u; }
+int *second(int *u, int *v) { return v; }
+
+int *(*table[2])(int *, int *) = { first, second };
+
+int *apply(int *(*fn)(int *, int *), int *u, int *v)
+{
+    return fn(u, v);
+}
+
+int main(void)
+{
+    int *out;
+    int i;
+    out = apply(first, &a, &b);
+    out = apply(second, out, &b);
+    for (i = 0; i < 2; i++) {
+        out = table[i](&a, out);
+    }
+    return out == &a;
+}
+"""
+
+RECURSION = """
+struct tree {
+    struct tree *left;
+    struct tree *right;
+    int *tag;
+};
+
+int marker;
+
+struct tree *rotate(struct tree *node)
+{
+    struct tree *pivot;
+    if (node == 0) return 0;
+    pivot = node->left;
+    if (pivot != 0) {
+        node->left = pivot->right;
+        pivot->right = rotate(node);
+        pivot->tag = &marker;
+        return pivot;
+    }
+    node->right = rotate(node->right);
+    return node;
+}
+
+int main(void)
+{
+    struct tree *root;
+    root = (struct tree *)malloc(sizeof(struct tree));
+    root->left = (struct tree *)malloc(sizeof(struct tree));
+    root = rotate(root);
+    return root != 0;
+}
+"""
+
+MULTI_LEVEL = """
+int target;
+int *level1;
+int **level2;
+int ***level3;
+
+int main(void)
+{
+    level1 = &target;
+    level2 = &level1;
+    level3 = &level2;
+    **level3 = &target;
+    *level2 = *level2;
+    return ***level3;
+}
+"""
+
+
+HASH_TABLE = """
+struct entry {
+    struct entry *next;
+    char *key;
+    int *value;
+};
+
+struct entry *buckets[8];
+int slot_a, slot_b;
+
+int hash(char *key)
+{
+    int h;
+    h = 0;
+    while (*key != 0) {
+        h = h * 31 + *key;
+        key++;
+    }
+    return h % 8;
+}
+
+void put(char *key, int *value)
+{
+    struct entry *cell;
+    int index;
+    index = hash(key);
+    cell = (struct entry *)malloc(sizeof(struct entry));
+    cell->key = key;
+    cell->value = value;
+    cell->next = buckets[index];
+    buckets[index] = cell;
+}
+
+int *get(char *key)
+{
+    struct entry *cur;
+    cur = buckets[hash(key)];
+    while (cur != 0) {
+        if (cur->key == key) return cur->value;
+        cur = cur->next;
+    }
+    return 0;
+}
+
+int main(void)
+{
+    int *found;
+    put("a", &slot_a);
+    put("b", &slot_b);
+    found = get("a");
+    return found == &slot_a;
+}
+"""
+
+ARENA = """
+struct arena {
+    char *base;
+    char *cursor;
+    struct arena *previous;
+};
+
+struct arena *current;
+
+struct arena *arena_new(struct arena *previous)
+{
+    struct arena *fresh;
+    fresh = (struct arena *)malloc(sizeof(struct arena));
+    fresh->base = (char *)malloc(1024);
+    fresh->cursor = fresh->base;
+    fresh->previous = previous;
+    return fresh;
+}
+
+char *arena_alloc(struct arena *a, int bytes)
+{
+    char *out;
+    out = a->cursor;
+    a->cursor = a->cursor + bytes;
+    return out;
+}
+
+int main(void)
+{
+    char *first;
+    char *second;
+    current = arena_new(0);
+    current = arena_new(current);
+    first = arena_alloc(current, 16);
+    second = arena_alloc(current->previous, 32);
+    return first != second;
+}
+"""
+
+STATE_MACHINE = """
+int state_data;
+
+typedef int (*handler)(int);
+
+int on_start(int event);
+int on_run(int event);
+int on_stop(int event);
+
+handler table[3] = { on_start, on_run, on_stop };
+handler current_handler;
+
+int on_start(int event) { current_handler = table[1]; return 1; }
+int on_run(int event)   { current_handler = table[2]; return 2; }
+int on_stop(int event)  { current_handler = table[0]; return 0; }
+
+int main(void)
+{
+    int code;
+    int i;
+    current_handler = on_start;
+    code = 0;
+    for (i = 0; i < 6; i++) {
+        code = current_handler(i);
+    }
+    return code;
+}
+"""
+
+#: name -> source
+ALL_PROGRAMS: Dict[str, str] = {
+    "figure5": FIGURE5,
+    "linked_list": LINKED_LIST,
+    "swap_cycle": SWAP_CYCLE,
+    "function_pointers": FUNCTION_POINTERS,
+    "recursion": RECURSION,
+    "multi_level": MULTI_LEVEL,
+    "hash_table": HASH_TABLE,
+    "arena": ARENA,
+    "state_machine": STATE_MACHINE,
+}

@@ -1,0 +1,146 @@
+"""Andersen's analysis on basic pointer programs with known answers."""
+
+import pytest
+
+from repro.andersen import analyze_source, solve_points_to
+from repro.workloads import ALL_PROGRAMS
+
+
+def points_to(source, *names):
+    result = solve_points_to(analyze_source(source))
+    assert result.solution.ok, result.solution.diagnostics[:3]
+    return tuple(sorted(result.points_to_named(name)) for name in names)
+
+
+class TestAssignments:
+    def test_address_of(self):
+        (p,) = points_to("int x; int *p; int main(void) { p = &x; return 0; }", "p")
+        assert p == ["x"]
+
+    def test_copy_propagates(self):
+        p, q = points_to(
+            "int x; int *p, *q;"
+            "int main(void) { p = &x; q = p; return 0; }",
+            "p", "q",
+        )
+        assert p == ["x"] and q == ["x"]
+
+    def test_copy_is_directional(self):
+        source = (
+            "int x, y; int *p, *q;"
+            "int main(void) { p = &x; q = &y; q = p; return 0; }"
+        )
+        p, q = points_to(source, "p", "q")
+        assert p == ["x"]        # p is unaffected by q = p
+        assert q == ["x", "y"]
+
+    def test_figure5_points_to_graph(self):
+        # The paper's Figure 5 example program.
+        a, b, c = points_to(ALL_PROGRAMS["figure5"], "a", "b", "c")
+        assert a == ["b", "c"]
+        assert b == ["d"]
+        assert c == ["b"]
+
+    def test_store_through_pointer(self):
+        source = (
+            "int x, y; int *p; int **pp;"
+            "int main(void) { pp = &p; *pp = &y; return 0; }"
+        )
+        p, pp = points_to(source, "p", "pp")
+        assert pp == ["p"]
+        assert p == ["y"]
+
+    def test_load_through_pointer(self):
+        source = (
+            "int x; int *p, *q; int **pp;"
+            "int main(void) { p = &x; pp = &p; q = *pp; return 0; }"
+        )
+        (q,) = points_to(source, "q")
+        assert q == ["x"]
+
+    def test_multi_level(self):
+        source = ALL_PROGRAMS["multi_level"]
+        l1, l2, l3 = points_to(source, "level1", "level2", "level3")
+        assert l1 == ["target"]
+        assert l2 == ["level1"]
+        assert l3 == ["level2"]
+
+    def test_conditional_merges(self):
+        source = (
+            "int x, y; int *p;"
+            "int main(void) { p = 1 ? &x : &y; return 0; }"
+        )
+        (p,) = points_to(source, "p")
+        assert p == ["x", "y"]
+
+    def test_chained_assignment(self):
+        source = (
+            "int x; int *p, *q;"
+            "int main(void) { p = q = &x; return 0; }"
+        )
+        p, q = points_to(source, "p", "q")
+        assert p == ["x"] and q == ["x"]
+
+    def test_compound_assignment_conservative(self):
+        source = (
+            "int a[4]; int *p;"
+            "int main(void) { p = a; p += 1; return 0; }"
+        )
+        (p,) = points_to(source, "p")
+        assert p == ["a"]
+
+    def test_null_and_literals_ignored(self):
+        (p,) = points_to(
+            "int *p; int main(void) { p = 0; return 0; }", "p"
+        )
+        assert p == []
+
+    def test_cast_transparent(self):
+        source = (
+            "int x; char *cp;"
+            "int main(void) { cp = (char *)&x; return 0; }"
+        )
+        (cp,) = points_to(source, "cp")
+        assert cp == ["x"]
+
+    def test_global_initializer(self):
+        (p,) = points_to("int x; int *p = &x; int main(void) { return 0; }", "p")
+        assert p == ["x"]
+
+    def test_swap_via_double_pointers(self):
+        p, q = points_to(ALL_PROGRAMS["swap_cycle"], "p", "q")
+        assert p == ["x", "y"]
+        assert q == ["x", "y"]
+
+
+class TestStringsAndImplicit:
+    def test_string_literal_location(self):
+        (s,) = points_to(
+            'char *s; int main(void) { s = "hi"; return 0; }', "s"
+        )
+        assert s == ["<strings>"]
+
+    def test_implicit_variable_created(self):
+        program = analyze_source(
+            "int *p; int main(void) { p = &undeclared; return 0; }"
+        )
+        result = solve_points_to(program)
+        assert result.points_to_named("p") == {"undeclared"}
+
+    def test_locals_are_qualified(self):
+        program = analyze_source(
+            "int main(void) { int local; int *p; p = &local; return 0; }"
+        )
+        result = solve_points_to(program)
+        assert result.points_to_named("main::p") == {"main::local"}
+
+    def test_shadowing(self):
+        source = (
+            "int x; int *p, *q;"
+            "int main(void) { int x; p = &x; { int x; q = &x; } return 0; }"
+        )
+        program = analyze_source(source)
+        result = solve_points_to(program)
+        # Both locals shadow the global; p and q point to main::x
+        # (collapsed by qualified name, which is per-function).
+        assert "x" not in result.points_to_named("p")

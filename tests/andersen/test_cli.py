@@ -1,0 +1,55 @@
+"""Tests for the points-to command line."""
+
+import json
+import os
+
+import pytest
+
+from repro.andersen.__main__ import main
+
+SOURCE = """
+int x, y;
+int *p, *q;
+int main(void) { p = &x; q = p; q = &y; return 0; }
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCli:
+    def test_basic_output(self, c_file, capsys):
+        assert main([c_file]) == 0
+        out = capsys.readouterr().out
+        assert "p -> {x}" in out
+        assert "q -> {x, y}" in out
+
+    def test_experiment_selection(self, c_file, capsys):
+        assert main([c_file, "--experiment", "SF-Plain"]) == 0
+        out = capsys.readouterr().out
+        assert "p -> {x}" in out
+
+    def test_stats_flag(self, c_file, capsys):
+        assert main([c_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "work=" in out
+
+    def test_steensgaard_flag(self, c_file, capsys):
+        assert main([c_file, "--steensgaard"]) == 0
+        out = capsys.readouterr().out
+        assert "Steensgaard baseline" in out
+
+    def test_dot_export(self, c_file, tmp_path, capsys):
+        dot_path = str(tmp_path / "out.dot")
+        assert main([c_file, "--dot", dot_path]) == 0
+        with open(dot_path, "r", encoding="utf-8") as handle:
+            dot = handle.read()
+        assert '"q" -> "y";' in dot
+
+    def test_unknown_experiment_rejected(self, c_file):
+        with pytest.raises(SystemExit):
+            main([c_file, "--experiment", "bogus"])

@@ -1,0 +1,43 @@
+"""Enum constants are integers, not implicit memory locations."""
+
+from repro.andersen import analyze_source, solve_points_to
+
+
+SOURCE = """
+enum color { RED, GREEN = 3, BLUE };
+enum state { IDLE, BUSY };
+
+int *p;
+int x;
+
+int main(void) {
+    enum color c;
+    c = RED;
+    if (c == GREEN) p = &x;
+    switch (c) { case BLUE: c = RED; break; }
+    return IDLE + BUSY;
+}
+"""
+
+
+class TestEnumConstants:
+    def test_no_implicit_locations(self):
+        program = analyze_source(SOURCE)
+        names = {location.name for location in program.locations}
+        for enumerator in ("RED", "GREEN", "BLUE", "IDLE", "BUSY"):
+            assert enumerator not in names
+
+    def test_analysis_unaffected(self):
+        result = solve_points_to(analyze_source(SOURCE))
+        assert result.solution.ok
+        assert result.points_to_named("p") == {"x"}
+
+    def test_shadowing_enumerator_with_variable(self):
+        source = (
+            "enum e { TAG };"
+            "int x; int *p;"
+            "int main(void) { int *TAG; TAG = &x; p = TAG; return 0; }"
+        )
+        result = solve_points_to(analyze_source(source))
+        # The local declaration wins over the enumerator.
+        assert result.points_to_named("p") == {"x"}

@@ -1,0 +1,163 @@
+"""Andersen's analysis: calls, returns, and function pointers."""
+
+from repro.andersen import analyze_source, solve_points_to
+from repro.workloads import ALL_PROGRAMS
+
+
+def solve(source):
+    result = solve_points_to(analyze_source(source))
+    assert result.solution.ok, result.solution.diagnostics[:3]
+    return result
+
+
+class TestDirectCalls:
+    def test_argument_flows_to_parameter(self):
+        result = solve(
+            "int x; void sink(int *a) { }"
+            "int main(void) { sink(&x); return 0; }"
+        )
+        assert result.points_to_named("sink::a") == {"x"}
+
+    def test_return_flows_to_caller(self):
+        result = solve(
+            "int x; int *source(void) { return &x; }"
+            "int *p;"
+            "int main(void) { p = source(); return 0; }"
+        )
+        assert result.points_to_named("p") == {"x"}
+
+    def test_identity_function(self):
+        result = solve(
+            "int x, y; int *id(int *a) { return a; }"
+            "int *p, *q;"
+            "int main(void) { p = id(&x); q = id(&y); return 0; }"
+        )
+        # Andersen's is context-insensitive: both call sites merge.
+        assert result.points_to_named("p") == {"x", "y"}
+        assert result.points_to_named("q") == {"x", "y"}
+
+    def test_multiple_parameters(self):
+        result = solve(
+            "int x, y;"
+            "void two(int *a, int *b) { }"
+            "int main(void) { two(&x, &y); return 0; }"
+        )
+        assert result.points_to_named("two::a") == {"x"}
+        assert result.points_to_named("two::b") == {"y"}
+
+    def test_forward_call_before_definition(self):
+        result = solve(
+            "int x; int *later(void);"
+            "int *p;"
+            "int main(void) { p = later(); return 0; }"
+            "int *later(void) { return &x; }"
+        )
+        assert result.points_to_named("p") == {"x"}
+
+    def test_recursion(self):
+        result = solve(ALL_PROGRAMS["recursion"])
+        pts = result.points_to_named("rotate::pivot")
+        assert any(name.startswith("heap@") for name in pts)
+
+    def test_extra_arguments_ignored(self):
+        result = solve(
+            "int x; void one(int *a) { }"
+            "int main(void) { one(&x, 5, 7); return 0; }"
+        )
+        assert result.points_to_named("one::a") == {"x"}
+
+    def test_implicit_extern_function(self):
+        result = solve(
+            "int x; int *p;"
+            "int main(void) { p = unknown_fn(&x); return 0; }"
+        )
+        # The extern's return contributes nothing; no crash, no pts.
+        assert result.points_to_named("p") == set()
+
+
+class TestFunctionPointers:
+    def test_assign_and_call(self):
+        result = solve(
+            "int x; int *get(int *a, int *b) { return a; }"
+            "int *(*fp)(int *, int *); int *p;"
+            "int main(void) { fp = get; p = fp(&x, 0); return 0; }"
+        )
+        assert result.points_to_named("fp") == {"get"}
+        assert result.points_to_named("p") == {"x"}
+
+    def test_address_of_function_same_as_name(self):
+        result = solve(
+            "int x; int *get(int *a, int *b) { return a; }"
+            "int *(*fp)(int *, int *); int *p;"
+            "int main(void) { fp = &get; p = fp(&x, 0); return 0; }"
+        )
+        assert result.points_to_named("fp") == {"get"}
+        assert result.points_to_named("p") == {"x"}
+
+    def test_deref_call_syntax(self):
+        result = solve(
+            "int x; int *get(int *a, int *b) { return a; }"
+            "int *(*fp)(int *, int *); int *p;"
+            "int main(void) { fp = get; p = (*fp)(&x, 0); return 0; }"
+        )
+        assert result.points_to_named("p") == {"x"}
+
+    def test_two_targets_merge(self):
+        result = solve(
+            "int x, y;"
+            "int *first(int *a, int *b) { return a; }"
+            "int *second(int *a, int *b) { return b; }"
+            "int *(*fp)(int *, int *); int *p;"
+            "int main(void) {"
+            "  fp = first;"
+            "  if (x) fp = second;"
+            "  p = fp(&x, &y);"
+            "  return 0; }"
+        )
+        assert result.points_to_named("fp") == {"first", "second"}
+        assert result.points_to_named("p") == {"x", "y"}
+
+    def test_function_pointer_table(self):
+        result = solve(ALL_PROGRAMS["function_pointers"])
+        assert result.points_to_named("table") == {"first", "second"}
+        out = result.points_to_named("main::out")
+        assert out == {"a", "b"}
+
+    def test_function_pointer_as_argument(self):
+        result = solve(
+            "int x;"
+            "int *pick(int *a, int *b) { return a; }"
+            "int *apply(int *(*fn)(int *, int *), int *v)"
+            "{ return fn(v, v); }"
+            "int *p;"
+            "int main(void) { p = apply(pick, &x); return 0; }"
+        )
+        assert result.points_to_named("p") == {"x"}
+
+    def test_function_pointer_stored_in_struct(self):
+        result = solve(
+            "int x;"
+            "struct ops { int *(*get)(int *, int *); };"
+            "int *take(int *a, int *b) { return a; }"
+            "struct ops o; int *p;"
+            "int main(void) {"
+            "  o.get = take;"
+            "  p = o.get(&x, 0);"
+            "  return 0; }"
+        )
+        assert result.points_to_named("p") == {"x"}
+
+
+class TestParameterAliasing:
+    def test_swap_merges_pointees(self):
+        result = solve(ALL_PROGRAMS["swap_cycle"])
+        assert result.points_to_named("swap::u") == {"p", "q"}
+        assert result.points_to_named("swap::tmp") == {"x", "y"}
+
+    def test_callee_writes_through_parameter(self):
+        result = solve(
+            "int x; int *p;"
+            "void set(int **slot, int *value) { *slot = value; }"
+            "int main(void) { set(&p, &x); return 0; }"
+        )
+        assert result.points_to_named("p") == {"x"}

@@ -1,0 +1,57 @@
+"""Tests for abstract locations and the location table."""
+
+import pytest
+
+from repro.andersen import AbstractLocation, LocationKind, LocationTable
+
+
+class TestAbstractLocation:
+    def test_equality_by_uid(self):
+        a = AbstractLocation(1, "x", LocationKind.VARIABLE)
+        b = AbstractLocation(1, "renamed", LocationKind.HEAP)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = AbstractLocation(1, "x", LocationKind.VARIABLE)
+        b = AbstractLocation(2, "x", LocationKind.VARIABLE)
+        assert a != b
+
+    def test_str_is_name(self):
+        loc = AbstractLocation(0, "main::p", LocationKind.VARIABLE)
+        assert str(loc) == "main::p"
+
+    def test_kinds(self):
+        assert LocationKind.HEAP.value == "heap"
+        assert len(list(LocationKind)) == 5
+
+
+class TestLocationTable:
+    def test_dense_uids(self):
+        table = LocationTable()
+        first = table.make("a", LocationKind.VARIABLE)
+        second = table.make("b", LocationKind.HEAP)
+        assert (first.uid, second.uid) == (0, 1)
+        assert len(table) == 2
+
+    def test_by_uid(self):
+        table = LocationTable()
+        loc = table.make("a", LocationKind.VARIABLE)
+        assert table.by_uid(loc.uid) is loc
+
+    def test_by_name(self):
+        table = LocationTable()
+        table.make("a", LocationKind.VARIABLE)
+        wanted = table.make("b", LocationKind.STRING)
+        assert table.by_name("b") is wanted
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            LocationTable().by_name("ghost")
+
+    def test_iteration_order(self):
+        table = LocationTable()
+        names = ["x", "y", "z"]
+        for name in names:
+            table.make(name, LocationKind.VARIABLE)
+        assert [loc.name for loc in table] == names

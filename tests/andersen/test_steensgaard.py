@@ -1,0 +1,114 @@
+"""Tests for the Steensgaard baseline and its relation to Andersen."""
+
+import pytest
+
+from repro.andersen import (
+    analyze_source,
+    analyze_unit_steensgaard,
+    solve_points_to,
+)
+from repro.cfront import parse
+from repro.workloads import ALL_PROGRAMS
+
+
+def steensgaard(source):
+    return analyze_unit_steensgaard(parse(source))
+
+
+class TestBasics:
+    def test_address_of(self):
+        result = steensgaard(
+            "int x; int *p; int main(void) { p = &x; return 0; }"
+        )
+        assert result.points_to_named("p") == {"x"}
+
+    def test_unification_merges_both_ways(self):
+        # q = p unifies the pointees: unlike Andersen, p also sees y.
+        result = steensgaard(
+            "int x, y; int *p, *q;"
+            "int main(void) { p = &x; q = &y; q = p; return 0; }"
+        )
+        assert result.points_to_named("q") == {"x", "y"}
+        assert result.points_to_named("p") == {"x", "y"}
+
+    def test_store_through_pointer(self):
+        result = steensgaard(
+            "int y; int *p; int **pp;"
+            "int main(void) { pp = &p; *pp = &y; return 0; }"
+        )
+        assert result.points_to_named("p") == {"y"}
+
+    def test_call_flows(self):
+        result = steensgaard(
+            "int x; void sink(int *a) { }"
+            "int main(void) { sink(&x); return 0; }"
+        )
+        assert result.points_to_named("sink::a") == {"x"}
+
+    def test_return_flows(self):
+        result = steensgaard(
+            "int x; int *get(void) { return &x; } int *p;"
+            "int main(void) { p = get(); return 0; }"
+        )
+        assert "x" in result.points_to_named("p")
+
+    def test_heap_location(self):
+        result = steensgaard(
+            "int *p; int main(void) { p = (int *)malloc(4); return 0; }"
+        )
+        assert result.points_to_named("p") == {"heap@1"}
+
+    def test_empty_for_unassigned(self):
+        result = steensgaard("int *p; int main(void) { return 0; }")
+        assert result.points_to_named("p") == set()
+
+
+class TestCoarseness:
+    """Steensgaard must be a (possibly equal) over-approximation of
+    Andersen on every location — the SH97 relationship."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_superset_of_andersen(self, name):
+        source = ALL_PROGRAMS[name]
+        andersen = solve_points_to(analyze_source(source))
+        unification = steensgaard(source)
+        from repro.andersen import LocationKind
+
+        for location in andersen.program.locations:
+            if location.kind is LocationKind.FUNCTION:
+                # Andersen models a function location as containing its
+                # own lambda term; Steensgaard keeps signatures apart
+                # from pointees, so the encodings are not comparable.
+                continue
+            fine = {
+                target.name for target in andersen.points_to(location)
+                if target.kind is not LocationKind.FUNCTION
+            }
+            try:
+                coarse_loc = unification.locations.by_name(location.name)
+            except KeyError:
+                continue  # temporaries differ between the analyses
+            coarse = {
+                t.name for t in unification.points_to(coarse_loc)
+            }
+            missing = fine - coarse
+            assert not missing, (location.name, fine, coarse)
+
+    def test_strictly_coarser_example(self):
+        source = (
+            "int x, y; int *p, *q;"
+            "int main(void) { p = &x; q = &y; q = p; return 0; }"
+        )
+        andersen = solve_points_to(analyze_source(source))
+        unification = steensgaard(source)
+        assert andersen.points_to_named("p") == {"x"}
+        assert unification.points_to_named("p") == {"x", "y"}
+
+    def test_average_set_size_not_smaller(self):
+        source = ALL_PROGRAMS["swap_cycle"]
+        andersen = solve_points_to(analyze_source(source))
+        unification = steensgaard(source)
+        assert (
+            unification.average_set_size()
+            >= andersen.average_set_size() - 1e-9
+        )

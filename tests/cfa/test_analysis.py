@@ -1,0 +1,162 @@
+"""Tests for closure analysis (0CFA) over the set-constraint solver."""
+
+import pytest
+
+from repro.cfa import analyze_cfa_source, parse_expr, solve_cfa
+from repro.solver import CyclePolicy, GraphForm, SolverOptions
+from tests.conftest import ALL_CONFIGS
+
+
+def closures(source, options=None):
+    program = analyze_cfa_source(source)
+    result = solve_cfa(program, options)
+    return result, program
+
+
+class TestBasics:
+    def test_identity(self):
+        result, program = closures("(let ((id (lambda (x) x))) (id id))")
+        assert result.closure_names_of(program.root) == {"id"}
+
+    def test_constant_has_no_closures(self):
+        result, program = closures("(+ 1 2)")
+        assert result.closure_names_of(program.root) == frozenset()
+
+    def test_let_body_value(self):
+        result, program = closures(
+            "(let ((f (lambda (x) x))) f)"
+        )
+        assert result.closure_names_of(program.root) == {"f"}
+
+    def test_unapplied_lambda_param_empty(self):
+        source = "(lambda (x) x)"
+        result, program = closures(source)
+        assert result.closure_names_of(program.root) == {"lam@%d" % program.root.label}
+
+    def test_application_returns_body_values(self):
+        result, program = closures(
+            "(let ((k (lambda (x) (lambda (y) x))))"
+            " ((k (lambda (z) z)) 0))"
+        )
+        # k returns its inner lambda; applying that yields x's values.
+        names = result.closure_names_of(program.root)
+        assert any(name.startswith("lam@") for name in names)
+
+    def test_if0_merges_branches(self):
+        result, program = closures(
+            "(let ((f (lambda (a) a)))"
+            " (let ((g (lambda (b) b)))"
+            "  (if0 0 f g)))"
+        )
+        assert result.closure_names_of(program.root) == {"f", "g"}
+
+    def test_higher_order_flow(self):
+        result, program = closures(
+            "(let ((apply (lambda (h) (lambda (v) (h v)))))"
+            " (let ((inc (lambda (n) (+ n 1))))"
+            "  ((apply inc) 3)))"
+        )
+        targets = result.call_targets()
+        assert {"inc"} in targets.values()
+
+    def test_self_application(self):
+        result, program = closures(
+            "((lambda (x) (x x)) (lambda (y) (y y)))"
+        )
+        targets = result.call_targets()
+        # Every application may call either lambda (omega-style blowup
+        # collapses into a cyclic constraint set).
+        assert all(targets.values())
+
+    def test_recursion_targets(self):
+        result, program = closures(
+            "(letrec ((loop (lambda (n) (if0 n 0 (loop (- n 1))))))"
+            " (loop 10))"
+        )
+        for names in result.call_targets().values():
+            assert names == {"loop"}
+
+    def test_mutual_recursion_via_nesting(self):
+        result, program = closures(
+            "(letrec ((even (lambda (n)"
+            "   (if0 n 1 (letrec ((odd (lambda (m)"
+            "       (if0 m 0 (even (- m 1))))))"
+            "     (odd (- n 1)))))))"
+            " (even 4))"
+        )
+        flat = set()
+        for names in result.call_targets().values():
+            flat |= names
+        assert {"even", "odd"} <= flat
+
+
+class TestConfigurations:
+    SOURCE = (
+        "(letrec ((fix (lambda (f) (f (lambda (x) ((fix f) x))))))"
+        " (let ((fact (lambda (self) (lambda (n)"
+        "    (if0 n 1 (* n (self (- n 1))))))))"
+        "  ((fix fact) 5)))"
+    )
+
+    def test_all_configs_agree(self):
+        program = analyze_cfa_source(self.SOURCE)
+        baseline = None
+        for form, policy in ALL_CONFIGS:
+            result = solve_cfa(program, SolverOptions(
+                form=form, cycles=policy))
+            targets = result.call_targets()
+            if baseline is None:
+                baseline = targets
+            else:
+                assert targets == baseline, (form, policy)
+
+    def test_online_eliminates_on_recursion(self):
+        program = analyze_cfa_source(self.SOURCE)
+        online = solve_cfa(program, SolverOptions(
+            form=GraphForm.INDUCTIVE, cycles=CyclePolicy.ONLINE))
+        assert online.solution.stats.vars_eliminated > 0
+
+    def test_online_reduces_work_on_cyclic_program(self):
+        # A loopy program: chained recursive dispatchers.
+        parts = ["(letrec ((f0 (lambda (x) (f0 x))))"]
+        closer = [")"]
+        for i in range(1, 12):
+            parts.append(
+                f"(letrec ((f{i} (lambda (x) (f{i} (f{i-1} x)))))"
+            )
+            closer.append(")")
+        parts.append("(f11 (lambda (v) v))")
+        source = " ".join(parts) + " " + " ".join(closer)
+        program = analyze_cfa_source(source)
+        plain = solve_cfa(program, SolverOptions(
+            form=GraphForm.INDUCTIVE, cycles=CyclePolicy.NONE))
+        online = solve_cfa(program, SolverOptions(
+            form=GraphForm.INDUCTIVE, cycles=CyclePolicy.ONLINE))
+        assert online.solution.stats.work <= plain.solution.stats.work
+        assert online.solution.stats.vars_eliminated > 0
+
+
+class TestScopeRules:
+    def test_lexical_shadowing(self):
+        result, program = closures(
+            "(let ((x (lambda (a) a)))"
+            " (let ((f (lambda (x) x)))"
+            "  (f 1)))"
+        )
+        # The inner x is the parameter (an int flows in), not the outer
+        # lambda; (f 1) returns no closures... except 1 has none, so the
+        # root sees nothing from the parameter.
+        assert result.closure_names_of(program.root) == frozenset()
+
+    def test_unbound_variable_is_empty(self):
+        result, program = closures("unknown")
+        assert result.closure_names_of(program.root) == frozenset()
+
+    def test_let_not_recursive(self):
+        # In a plain let the binding is not visible in its own value.
+        result, program = closures(
+            "(let ((f (lambda (n) (f n)))) f)"
+        )
+        targets = result.call_targets()
+        # The inner (f n) refers to an unbound f: no targets.
+        assert all(not names for names in targets.values())

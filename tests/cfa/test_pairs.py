@@ -1,0 +1,109 @@
+"""Tests for pairs (cons/car/cdr) in the closure analysis."""
+
+import pytest
+
+from repro.cfa import (
+    Cons,
+    Proj,
+    analyze_cfa_source,
+    parse_expr,
+    solve_cfa,
+)
+from tests.conftest import ALL_CONFIGS
+
+
+def closures(source):
+    program = analyze_cfa_source(source)
+    return solve_cfa(program), program
+
+
+class TestParsing:
+    def test_cons(self):
+        e = parse_expr("(cons 1 2)")
+        assert isinstance(e, Cons)
+
+    def test_car_cdr(self):
+        assert parse_expr("(car p)").which == "car"
+        assert parse_expr("(cdr p)").which == "cdr"
+
+    def test_proj_validation(self):
+        with pytest.raises(ValueError):
+            Proj("first", parse_expr("1"))
+
+    def test_cons_with_wrong_arity_is_application(self):
+        # (cons a) parses as an application of the variable `cons`.
+        e = parse_expr("(cons 1)")
+        assert not isinstance(e, Cons)
+
+
+class TestAnalysis:
+    def test_car_of_cons(self):
+        result, program = closures(
+            "(let ((f (lambda (x) x)))"
+            " (let ((g (lambda (y) y)))"
+            "  (car (cons f g))))"
+        )
+        assert result.closure_names_of(program.root) == {"f"}
+
+    def test_cdr_of_cons(self):
+        result, program = closures(
+            "(let ((f (lambda (x) x)))"
+            " (let ((g (lambda (y) y)))"
+            "  (cdr (cons f g))))"
+        )
+        assert result.closure_names_of(program.root) == {"g"}
+
+    def test_nested_pairs(self):
+        result, program = closures(
+            "(let ((f (lambda (x) x)))"
+            " (car (cdr (cons 1 (cons f 2)))))"
+        )
+        assert result.closure_names_of(program.root) == {"f"}
+
+    def test_pair_value_is_not_a_closure(self):
+        result, program = closures(
+            "(let ((f (lambda (x) x))) (cons f f))"
+        )
+        assert result.closure_names_of(program.root) == frozenset()
+
+    def test_closures_through_list_structures(self):
+        # Build a two-element "list" of functions; project both out and
+        # apply them.
+        result, program = closures(
+            "(let ((inc (lambda (n) (+ n 1))))"
+            " (let ((dec (lambda (m) (- m 1))))"
+            "  (let ((fns (cons inc (cons dec 0))))"
+            "   ((car fns) ((car (cdr fns)) 5)))))"
+        )
+        targets = result.call_targets()
+        flat = set()
+        for names in targets.values():
+            flat |= names
+        assert {"inc", "dec"} <= flat
+
+    def test_pairs_through_function_boundaries(self):
+        result, program = closures(
+            "(let ((wrap (lambda (v) (cons v 0))))"
+            " (let ((f (lambda (x) x)))"
+            "  (car (wrap f))))"
+        )
+        assert result.closure_names_of(program.root) == {"f"}
+
+    def test_all_configs_agree(self):
+        from repro.solver import SolverOptions
+
+        program = analyze_cfa_source(
+            "(letrec ((build (lambda (n)"
+            "   (if0 n 0 (cons (lambda (z) z) (build (- n 1)))))))"
+            " (car (build 3)))"
+        )
+        baseline = None
+        for form, policy in ALL_CONFIGS:
+            result = solve_cfa(program, SolverOptions(
+                form=form, cycles=policy))
+            names = result.closure_names_of(program.root)
+            if baseline is None:
+                baseline = names
+            else:
+                assert names == baseline, (form, policy)
+        assert baseline  # the built list holds the inner lambda

@@ -1,0 +1,125 @@
+"""Tests for the mini-language s-expression reader."""
+
+import pytest
+
+from repro.cfa import (
+    App,
+    CfaParseError,
+    Const,
+    If0,
+    Lam,
+    Let,
+    LetRec,
+    Prim,
+    Var,
+    parse_expr,
+)
+
+
+class TestAtoms:
+    def test_integer(self):
+        e = parse_expr("42")
+        assert isinstance(e, Const) and e.value == 42
+
+    def test_negative_integer(self):
+        e = parse_expr("-3")
+        assert isinstance(e, Const) and e.value == -3
+
+    def test_variable(self):
+        e = parse_expr("foo")
+        assert isinstance(e, Var) and e.name == "foo"
+
+
+class TestForms:
+    def test_lambda(self):
+        e = parse_expr("(lambda (x) x)")
+        assert isinstance(e, Lam)
+        assert e.param == "x"
+        assert isinstance(e.body, Var)
+
+    def test_multi_param_lambda_curries(self):
+        e = parse_expr("(lambda (x y) x)")
+        assert isinstance(e, Lam) and e.param == "x"
+        assert isinstance(e.body, Lam) and e.body.param == "y"
+
+    def test_application(self):
+        e = parse_expr("(f x)")
+        assert isinstance(e, App)
+
+    def test_multi_arg_application_curries(self):
+        e = parse_expr("(f x y)")
+        assert isinstance(e, App)
+        assert isinstance(e.function, App)
+
+    def test_let(self):
+        e = parse_expr("(let ((x 1)) x)")
+        assert isinstance(e, Let)
+        assert e.name == "x"
+
+    def test_letrec(self):
+        e = parse_expr("(letrec ((f (lambda (n) (f n)))) f)")
+        assert isinstance(e, LetRec)
+
+    def test_let_names_lambda(self):
+        e = parse_expr("(let ((inc (lambda (n) (+ n 1)))) inc)")
+        assert e.value.name == "inc"
+
+    def test_if0(self):
+        e = parse_expr("(if0 0 1 2)")
+        assert isinstance(e, If0)
+
+    def test_prim(self):
+        e = parse_expr("(+ 1 2)")
+        assert isinstance(e, Prim) and e.op == "+"
+
+    def test_nested(self):
+        e = parse_expr("((lambda (x) (x x)) (lambda (y) y))")
+        assert isinstance(e, App)
+        assert isinstance(e.function, Lam)
+
+
+class TestErrors:
+    def test_unbalanced(self):
+        with pytest.raises(CfaParseError):
+            parse_expr("(lambda (x) x")
+
+    def test_trailing(self):
+        with pytest.raises(CfaParseError):
+            parse_expr("x y")
+
+    def test_empty_application(self):
+        with pytest.raises(CfaParseError):
+            parse_expr("()")
+
+    def test_bad_lambda(self):
+        with pytest.raises(CfaParseError):
+            parse_expr("(lambda x x)")
+
+    def test_bad_let(self):
+        with pytest.raises(CfaParseError):
+            parse_expr("(let (x 1) x)")
+
+    def test_unexpected_close(self):
+        with pytest.raises(CfaParseError):
+            parse_expr(")")
+
+
+class TestAst:
+    def test_labels_unique(self):
+        e = parse_expr("((lambda (x) x) (lambda (y) y))")
+        labels = set()
+        stack = [e]
+        while stack:
+            node = stack.pop()
+            assert node.label not in labels
+            labels.add(node.label)
+            stack.extend(node.children())
+
+    def test_count_nodes(self):
+        e = parse_expr("(+ 1 2)")
+        assert e.count_nodes() == 3
+
+    def test_str_round_trippable(self):
+        e = parse_expr("(let ((id (lambda (x) x))) (id 1))")
+        again = parse_expr(str(e))
+        assert str(again) == str(e)

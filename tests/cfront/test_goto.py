@@ -1,0 +1,73 @@
+"""Tests for goto/label support across the pipeline."""
+
+import pytest
+
+from repro.andersen import analyze_source, solve_points_to
+from repro.cfront import ParseError, ast, parse, pretty_print
+
+
+def body(source):
+    unit = parse(f"void f(void) {{ {source} }}")
+    return unit.functions()[0].body.items
+
+
+class TestParsing:
+    def test_label_statement(self):
+        items = body("top: x = 1;")
+        label = items[0]
+        assert isinstance(label, ast.Label)
+        assert label.name == "top"
+        assert isinstance(label.body, ast.ExprStmt)
+
+    def test_goto_statement(self):
+        items = body("goto out; out: ;")
+        assert isinstance(items[0], ast.Goto)
+        assert items[0].name == "out"
+
+    def test_label_not_confused_with_ternary(self):
+        items = body("x = a ? b : c;")
+        assert isinstance(items[0], ast.ExprStmt)
+
+    def test_typedef_name_not_a_label(self):
+        unit = parse(
+            "typedef int T;\nvoid f(void) { T x; x = 0; }"
+        )
+        fn = unit.functions()[0]
+        assert isinstance(fn.body.items[0], ast.Decl)
+
+    def test_goto_requires_identifier(self):
+        with pytest.raises(ParseError):
+            body("goto 42;")
+
+    def test_nested_label(self):
+        items = body("while (1) { again: break; }")
+        inner = items[0].body.items[0]
+        assert isinstance(inner, ast.Label)
+
+
+class TestPrettyAndAnalysis:
+    def test_round_trip(self):
+        source = (
+            "void f(int n) { start: if (n) goto done; "
+            "n = n + 1; goto start; done: ; }"
+        )
+        once = pretty_print(parse(source))
+        assert pretty_print(parse(once)) == once
+        assert "goto start;" in once
+
+    def test_points_to_through_label(self):
+        source = (
+            "int x, y; int *p;"
+            "int main(void) {"
+            "  goto second;"
+            "  p = &x;"          # still analyzed (flow-insensitive)
+            "second:"
+            "  p = &y;"
+            "  return 0; }"
+        )
+        result = solve_points_to(analyze_source(source))
+        assert result.points_to_named("p") == {"x", "y"}
+
+    def test_count_nodes_includes_labels(self):
+        unit = parse("void f(void) { l: goto l; }")
+        assert unit.count_nodes() >= 4

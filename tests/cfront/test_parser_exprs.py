@@ -1,0 +1,198 @@
+"""Tests for expression parsing and precedence."""
+
+import pytest
+
+from repro.cfront import ParseError, ast, parse
+from repro.cfront.types import Pointer, Scalar
+
+
+def expr(source):
+    unit = parse(f"void f(void) {{ {source}; }}")
+    return unit.functions()[0].body.items[0].expr
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter(self):
+        e = expr("a + b * c")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = expr("a - b - c")
+        assert e.op == "-"
+        assert e.left.op == "-"
+
+    def test_parentheses_override(self):
+        e = expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_comparison_below_arithmetic(self):
+        e = expr("a + b < c * d")
+        assert e.op == "<"
+
+    def test_logical_layers(self):
+        e = expr("a && b || c && d")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_bitwise_layers(self):
+        e = expr("a | b ^ c & d")
+        assert e.op == "|"
+        assert e.right.op == "^"
+        assert e.right.right.op == "&"
+
+    def test_shift(self):
+        e = expr("a << 2 + 1")
+        assert e.op == "<<"
+        assert e.right.op == "+"
+
+    def test_equality_vs_relational(self):
+        e = expr("a == b < c")
+        assert e.op == "=="
+        assert e.right.op == "<"
+
+
+class TestAssignment:
+    def test_right_associative(self):
+        e = expr("a = b = c")
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        e = expr("a += b")
+        assert e.op == "+="
+
+    def test_assign_below_ternary(self):
+        e = expr("a = b ? c : d")
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Conditional)
+
+    def test_all_compound_operators(self):
+        for op in ("-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="):
+            e = expr(f"a {op} b")
+            assert e.op == op
+
+
+class TestUnaryAndPostfix:
+    def test_deref_chain(self):
+        e = expr("**pp")
+        assert e.op == "*"
+        assert e.operand.op == "*"
+
+    def test_address_of(self):
+        e = expr("&x")
+        assert e.op == "&"
+
+    def test_prefix_increment(self):
+        e = expr("++x")
+        assert isinstance(e, ast.Unary)
+
+    def test_postfix_increment(self):
+        e = expr("x++")
+        assert isinstance(e, ast.Postfix)
+
+    def test_unary_binds_tighter_than_binary(self):
+        e = expr("-a * b")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.Unary)
+
+    def test_deref_of_call(self):
+        e = expr("*f(x)")
+        assert e.op == "*"
+        assert isinstance(e.operand, ast.Call)
+
+    def test_member_chain(self):
+        e = expr("a.b.c")
+        assert isinstance(e, ast.Member)
+        assert e.name == "c"
+        assert e.base.name == "b"
+
+    def test_arrow(self):
+        e = expr("p->next->prev")
+        assert e.arrow
+        assert e.base.arrow
+
+    def test_index_chain(self):
+        e = expr("m[1][2]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.base, ast.Index)
+
+    def test_call_with_args(self):
+        e = expr("f(a, b + 1, g())")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 3
+
+    def test_call_through_member(self):
+        e = expr("obj.handler(x)")
+        assert isinstance(e, ast.Call)
+        assert isinstance(e.function, ast.Member)
+
+
+class TestCastsAndSizeof:
+    def test_cast(self):
+        e = expr("(char *)p")
+        assert isinstance(e, ast.Cast)
+        assert e.target_type == Pointer(Scalar("char"))
+
+    def test_cast_binds_to_unary(self):
+        e = expr("(int)a + b")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.Cast)
+
+    def test_parenthesized_expr_not_cast(self):
+        e = expr("(a) + b")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.Ident)
+
+    def test_nested_cast(self):
+        e = expr("(int *)(char *)p")
+        assert isinstance(e, ast.Cast)
+        assert isinstance(e.operand, ast.Cast)
+
+    def test_sizeof_type(self):
+        e = expr("sizeof(int *)")
+        assert isinstance(e, ast.SizeOf)
+        assert e.type_operand == Pointer(Scalar("int"))
+
+    def test_sizeof_expression(self):
+        e = expr("sizeof x")
+        assert isinstance(e, ast.SizeOf)
+        assert isinstance(e.operand, ast.Ident)
+
+    def test_sizeof_parenthesized_expression(self):
+        e = expr("sizeof(x)")
+        assert e.operand is not None
+
+
+class TestMisc:
+    def test_ternary(self):
+        e = expr("a ? b : c")
+        assert isinstance(e, ast.Conditional)
+
+    def test_nested_ternary_right_associative(self):
+        e = expr("a ? b : c ? d : e")
+        assert isinstance(e.else_value, ast.Conditional)
+
+    def test_comma(self):
+        e = expr("a, b, c")
+        assert isinstance(e, ast.Comma)
+        assert isinstance(e.left, ast.Comma)
+
+    def test_comma_in_call_is_separator(self):
+        e = expr("f((a, b), c)")
+        assert len(e.args) == 2
+        assert isinstance(e.args[0], ast.Comma)
+
+    def test_string_concatenation(self):
+        e = expr('"ab" "cd"')
+        assert isinstance(e, ast.StringLit)
+        assert "ab" in e.text and "cd" in e.text
+
+    def test_char_literal(self):
+        e = expr("'x'")
+        assert isinstance(e, ast.CharLit)
+
+    def test_error_on_bad_token(self):
+        with pytest.raises(ParseError):
+            expr("a + ;")

@@ -1,0 +1,145 @@
+"""Tests for statement parsing."""
+
+import pytest
+
+from repro.cfront import ParseError, ast, parse
+
+
+def body(source):
+    """Parse a function wrapping `source` and return its body items."""
+    unit = parse(f"void f(void) {{ {source} }}")
+    return unit.functions()[0].body.items
+
+
+def first(source):
+    return body(source)[0]
+
+
+class TestSimpleStatements:
+    def test_expression_statement(self):
+        stmt = first("x;")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Ident)
+
+    def test_empty_statement(self):
+        stmt = first(";")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert stmt.expr is None
+
+    def test_return_value(self):
+        stmt = first("return 42;")
+        assert isinstance(stmt, ast.Return)
+        assert isinstance(stmt.value, ast.IntLit)
+
+    def test_return_void(self):
+        stmt = first("return;")
+        assert stmt.value is None
+
+    def test_break_continue(self):
+        items = body("while (1) { break; continue; }")
+        inner = items[0].body.items
+        assert isinstance(inner[0], ast.Break)
+        assert isinstance(inner[1], ast.Continue)
+
+
+class TestIf:
+    def test_if_without_else(self):
+        stmt = first("if (x) y;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is None
+
+    def test_if_else(self):
+        stmt = first("if (x) y; else z;")
+        assert stmt.else_branch is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = first("if (a) if (b) x; else y;")
+        assert stmt.else_branch is None
+        inner = stmt.then_branch
+        assert isinstance(inner, ast.If)
+        assert inner.else_branch is not None
+
+    def test_else_if_chain(self):
+        stmt = first("if (a) x; else if (b) y; else z;")
+        assert isinstance(stmt.else_branch, ast.If)
+
+
+class TestLoops:
+    def test_while(self):
+        stmt = first("while (x) y;")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        stmt = first("do x; while (y);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for_full(self):
+        stmt = first("for (i = 0; i < 10; i++) x;")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None
+        assert stmt.condition is not None
+        assert stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        stmt = first("for (;;) break;")
+        assert stmt.init is None
+        assert stmt.condition is None
+        assert stmt.step is None
+
+    def test_for_with_declaration(self):
+        stmt = first("for (int i = 0; i < 3; i++) x;")
+        assert isinstance(stmt.init, ast.Compound)
+        assert isinstance(stmt.init.items[0], ast.Decl)
+
+
+class TestSwitch:
+    def test_switch_with_cases(self):
+        items = body("switch (x) { case 1: a; break; default: b; }")
+        switch = items[0]
+        assert isinstance(switch, ast.Switch)
+        cases = [i for i in switch.body.items if isinstance(i, ast.Case)]
+        assert len(cases) == 2
+        assert cases[0].value is not None
+        assert cases[1].value is None
+
+
+class TestBlocksAndDecls:
+    def test_nested_blocks(self):
+        stmt = first("{ { x; } }")
+        assert isinstance(stmt, ast.Compound)
+        assert isinstance(stmt.items[0], ast.Compound)
+
+    def test_local_declaration(self):
+        items = body("int x; x = 1;")
+        assert isinstance(items[0], ast.Decl)
+        assert isinstance(items[1], ast.ExprStmt)
+
+    def test_local_declaration_with_init(self):
+        items = body("int x = 5;")
+        assert items[0].init is not None
+
+    def test_local_struct_declaration(self):
+        items = body("struct s { int v; } local;")
+        kinds = {type(i) for i in items}
+        assert ast.RecordDef in kinds
+        assert ast.Decl in kinds
+
+    def test_mixed_decls_and_statements(self):
+        items = body("int a; a = 1; int b; b = a;")
+        assert [type(i) for i in items] == [
+            ast.Decl, ast.ExprStmt, ast.Decl, ast.ExprStmt
+        ]
+
+
+class TestErrors:
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { if (x) {")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { while x) y; }")
+
+    def test_do_without_while(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { do x; }")

@@ -1,0 +1,121 @@
+"""Tests for the pretty-printer (round trips and type rendering)."""
+
+import pytest
+
+from repro.cfront import parse, pretty_print, type_to_str
+from repro.cfront.types import (
+    Array,
+    Function,
+    Pointer,
+    Record,
+    Scalar,
+    Void,
+)
+from repro.workloads import ALL_PROGRAMS
+
+
+class TestTypeToStr:
+    def test_scalar(self):
+        assert type_to_str(Scalar("int"), "x") == "int x"
+
+    def test_pointer(self):
+        assert type_to_str(Pointer(Scalar("int")), "p") == "int *p"
+
+    def test_array(self):
+        assert type_to_str(Array(Scalar("int"), 4), "a") == "int a[4]"
+
+    def test_pointer_to_array_parenthesized(self):
+        rendered = type_to_str(Pointer(Array(Scalar("int"), 4)), "pa")
+        assert rendered == "int (*pa)[4]"
+
+    def test_function_pointer(self):
+        fp = Pointer(Function(Scalar("int"), (Scalar("int"),)))
+        assert type_to_str(fp, "fp") == "int (*fp)(int)"
+
+    def test_function_no_params_renders_void(self):
+        assert type_to_str(Function(Void(), ()), "f") == "void f(void)"
+
+    def test_variadic(self):
+        fn = Function(Scalar("int"), (Pointer(Scalar("char")),), True)
+        assert type_to_str(fn, "printf") == "int printf(char *, ...)"
+
+    def test_record(self):
+        assert type_to_str(Record("struct", "s"), "x") == "struct s x"
+
+    def test_array_of_function_pointers(self):
+        t = Array(Pointer(Function(Void(), (Scalar("int"),))), 3)
+        assert type_to_str(t, "table") == "void (*table[3])(int)"
+
+
+def roundtrip(source):
+    """pretty(parse(source)) must be a fixpoint of parse-then-print."""
+    once = pretty_print(parse(source))
+    twice = pretty_print(parse(once))
+    assert once == twice
+    return once
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_hand_programs_stable(self, name):
+        roundtrip(ALL_PROGRAMS[name])
+
+    def test_expressions_preserved(self):
+        out = roundtrip("int f(int a) { return a * 2 + (a >> 1); }")
+        assert "return" in out
+
+    def test_control_flow(self):
+        roundtrip(
+            "void f(int n) {"
+            " int i;"
+            " for (i = 0; i < n; i++) {"
+            "   if (i % 2) continue; else break;"
+            " }"
+            " while (n) do n--; while (n > 10);"
+            " switch (n) { case 1: n = 2; break; default: n = 0; }"
+            "}"
+        )
+
+    def test_declarations(self):
+        roundtrip(
+            "typedef struct pair { int a, b; } Pair;"
+            "static Pair *make(int a, int b);"
+            "int (*dispatch[2])(Pair *, int);"
+        )
+
+    def test_initializers(self):
+        roundtrip("int a[2][2] = { { 1, 2 }, { 3, 4 } };")
+
+    def test_string_literals(self):
+        out = roundtrip('char *s = "hello\\n";')
+        assert '"hello\\n"' in out
+
+    def test_semantic_preservation_via_ast_shape(self):
+        source = "int f(void) { return (1 + 2) * 3; }"
+        original = parse(source)
+        reparsed = parse(pretty_print(original))
+        ret = reparsed.functions()[0].body.items[0]
+        assert ret.value.op == "*"
+        assert ret.value.left.op == "+"
+
+
+class TestAstNodeCount:
+    def test_count_single_decl(self):
+        unit = parse("int x;")
+        # TranslationUnit + Decl
+        assert unit.count_nodes() == 2
+
+    def test_count_grows_with_program(self):
+        small = parse("int x;").count_nodes()
+        large = parse("int x; int y; int f(void) { return 0; }").count_nodes()
+        assert large > small
+
+    def test_children_traversal_consistent(self):
+        unit = parse(ALL_PROGRAMS["swap_cycle"])
+        manual = 0
+        stack = [unit]
+        while stack:
+            node = stack.pop()
+            manual += 1
+            stack.extend(node.children())
+        assert manual == unit.count_nodes()

@@ -1,0 +1,93 @@
+"""Tests for the C type layer."""
+
+from repro.cfront.types import (
+    Array,
+    CHAR,
+    EnumType,
+    Function,
+    INT,
+    Pointer,
+    Record,
+    Scalar,
+    TypeEnvironment,
+    VOID,
+    Void,
+)
+
+
+class TestPredicates:
+    def test_pointer(self):
+        assert Pointer(INT).is_pointer
+        assert not INT.is_pointer
+
+    def test_array(self):
+        assert Array(INT, 3).is_array
+
+    def test_function(self):
+        assert Function(VOID).is_function
+
+
+class TestDecay:
+    def test_array_decays_to_pointer(self):
+        assert Array(INT, 8).decayed() == Pointer(INT)
+
+    def test_function_decays_to_function_pointer(self):
+        fn = Function(INT, (CHAR,))
+        assert fn.decayed() == Pointer(fn)
+
+    def test_scalar_unchanged(self):
+        assert INT.decayed() is INT
+
+    def test_pointer_unchanged(self):
+        p = Pointer(INT)
+        assert p.decayed() is p
+
+
+class TestRecord:
+    def test_field_lookup(self):
+        record = Record("struct", "s", (("a", INT), ("b", Pointer(INT))))
+        assert record.field_type("b") == Pointer(INT)
+        assert record.field_type("missing") is None
+
+    def test_opaque_record_has_no_fields(self):
+        assert Record("struct", "s").field_type("a") is None
+
+    def test_str(self):
+        assert str(Record("union", "u")) == "union u"
+        assert str(EnumType("e")) == "enum e"
+
+
+class TestStrings:
+    def test_scalar(self):
+        assert str(Scalar("unsigned long")) == "unsigned long"
+
+    def test_void(self):
+        assert str(Void()) == "void"
+
+    def test_nested(self):
+        assert str(Pointer(Pointer(INT))) == "int**"
+        assert str(Array(INT, None)) == "int[]"
+        assert str(Function(INT, (CHAR,), True)) == "int(char,...)"
+
+
+class TestTypeEnvironment:
+    def test_typedef_lookup(self):
+        env = TypeEnvironment()
+        env.typedefs["myint"] = INT
+        assert env.is_typedef_name("myint")
+        assert not env.is_typedef_name("other")
+
+    def test_resolve_opaque_record(self):
+        env = TypeEnvironment()
+        full = Record("struct", "s", (("a", INT),))
+        env.records["struct s"] = full
+        assert env.resolve(Record("struct", "s")) is full
+
+    def test_resolve_unknown_keeps_opaque(self):
+        env = TypeEnvironment()
+        opaque = Record("struct", "t")
+        assert env.resolve(opaque) is opaque
+
+    def test_resolve_passthrough(self):
+        env = TypeEnvironment()
+        assert env.resolve(INT) is INT

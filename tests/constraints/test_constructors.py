@@ -1,0 +1,64 @@
+"""Tests for constructors and signatures."""
+
+import pytest
+
+from repro.constraints import (
+    Constructor,
+    ONE_CONSTRUCTOR,
+    SignatureError,
+    Variance,
+    ZERO_CONSTRUCTOR,
+)
+
+
+class TestConstructor:
+    def test_nullary(self):
+        c = Constructor("atom")
+        assert c.arity == 0
+        assert c.is_nullary
+        assert str(c) == "atom"
+
+    def test_arity_from_signature(self):
+        c = Constructor("pair", (Variance.COVARIANT, Variance.COVARIANT))
+        assert c.arity == 2
+        assert not c.is_nullary
+
+    def test_signature_list_normalized_to_tuple(self):
+        c = Constructor("c", [Variance.COVARIANT])
+        assert isinstance(c.signature, tuple)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SignatureError):
+            Constructor("")
+
+    def test_non_variance_signature_rejected(self):
+        with pytest.raises(SignatureError):
+            Constructor("bad", ("+",))
+
+    def test_structural_equality(self):
+        a = Constructor("ref", (Variance.COVARIANT,))
+        b = Constructor("ref", (Variance.COVARIANT,))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_signature(self):
+        a = Constructor("ref", (Variance.COVARIANT,))
+        b = Constructor("ref", (Variance.CONTRAVARIANT,))
+        assert a != b
+
+    def test_inequality_on_name(self):
+        a = Constructor("a")
+        b = Constructor("b")
+        assert a != b
+
+    def test_mixed_variance_rendering(self):
+        c = Constructor(
+            "fun", (Variance.CONTRAVARIANT, Variance.COVARIANT)
+        )
+        assert str(c) == "fun/2(-,+)"
+
+    def test_distinguished_constructors(self):
+        assert ZERO_CONSTRUCTOR.name == "0"
+        assert ONE_CONSTRUCTOR.name == "1"
+        assert ZERO_CONSTRUCTOR.is_nullary
+        assert ONE_CONSTRUCTOR.is_nullary

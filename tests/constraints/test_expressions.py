@@ -1,0 +1,105 @@
+"""Tests for set expressions."""
+
+import pytest
+
+from repro.constraints import (
+    Constructor,
+    MalformedExpressionError,
+    ONE,
+    SignatureError,
+    Term,
+    Var,
+    Variance,
+    ZERO,
+    variables_of,
+)
+
+REF = Constructor(
+    "ref", (Variance.COVARIANT, Variance.COVARIANT, Variance.CONTRAVARIANT)
+)
+
+
+class TestVar:
+    def test_identity_by_index(self):
+        assert Var(3) == Var(3, "other-name")
+        assert Var(3) != Var(4)
+
+    def test_hash_by_index(self):
+        assert hash(Var(3)) == hash(Var(3, "x"))
+
+    def test_default_name(self):
+        assert Var(7).name == "v7"
+
+    def test_explicit_name(self):
+        assert str(Var(7, "X")) == "X"
+
+    def test_not_equal_to_terms(self):
+        assert Var(0) != Term(Constructor("c"))
+
+    def test_kind_flags(self):
+        v = Var(0)
+        assert v.is_variable
+        assert not v.is_term
+        assert not v.is_zero
+        assert not v.is_one
+
+
+class TestTerm:
+    def test_arity_checked(self):
+        with pytest.raises(SignatureError):
+            Term(REF, (Var(0),))
+
+    def test_args_must_be_expressions(self):
+        with pytest.raises(MalformedExpressionError):
+            Term(REF, (Var(0), "bogus", Var(1)))
+
+    def test_structural_equality(self):
+        a = Term(REF, (ZERO, Var(1), Var(1)))
+        b = Term(REF, (ZERO, Var(1), Var(1)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_label_distinguishes(self):
+        a = Term(REF, (ZERO, Var(1), Var(1)), label="x")
+        b = Term(REF, (ZERO, Var(1), Var(1)), label="y")
+        assert a != b
+
+    def test_label_in_str(self):
+        t = Term(Constructor("loc"), (), label="spot")
+        assert "spot" in str(t)
+
+    def test_kind_flags(self):
+        t = Term(REF, (ZERO, Var(1), Var(1)))
+        assert t.is_term
+        assert not t.is_variable
+        assert not t.is_zero
+
+    def test_zero_one_flags(self):
+        assert ZERO.is_zero and not ZERO.is_one
+        assert ONE.is_one and not ONE.is_zero
+
+    def test_nested_str(self):
+        t = Term(REF, (ZERO, Var(1, "X"), ONE))
+        assert str(t) == "ref(0,X,1)"
+
+
+class TestVariablesOf:
+    def test_single_var(self):
+        v = Var(0)
+        assert variables_of(v) == (v,)
+
+    def test_nested_term(self):
+        t = Term(REF, (ZERO, Var(1), Var(2)))
+        assert variables_of(t) == (Var(1), Var(2))
+
+    def test_duplicates_preserved(self):
+        t = Term(REF, (Var(1), Var(1), Var(2)))
+        assert variables_of(t) == (Var(1), Var(1), Var(2))
+
+    def test_constants_have_no_variables(self):
+        assert variables_of(ZERO) == ()
+        assert variables_of(ONE) == ()
+
+    def test_rejects_non_expression(self):
+        with pytest.raises(MalformedExpressionError):
+            variables_of("nope")

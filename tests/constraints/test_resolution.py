@@ -1,0 +1,162 @@
+"""Tests for the resolution rules R (paper Figure 1)."""
+
+import pytest
+
+from repro.constraints import (
+    Constructor,
+    MalformedExpressionError,
+    ONE,
+    SOURCE_VAR,
+    Term,
+    VAR_SINK,
+    VAR_VAR,
+    Var,
+    Variance,
+    ZERO,
+    decompose_pair,
+)
+
+COV = Variance.COVARIANT
+CON = Variance.CONTRAVARIANT
+REF = Constructor("ref", (COV, COV, CON))
+PAIR = Constructor("pair", (COV, COV))
+OTHER = Constructor("other", (COV, COV))
+
+
+class TestAtomicForms:
+    def test_var_var(self):
+        atoms, diags = decompose_pair(Var(0), Var(1))
+        assert atoms == [(VAR_VAR, Var(0), Var(1))]
+        assert not diags
+
+    def test_source_var(self):
+        t = Term(PAIR, (ZERO, ZERO))
+        atoms, diags = decompose_pair(t, Var(0))
+        assert atoms == [(SOURCE_VAR, t, Var(0))]
+        assert not diags
+
+    def test_var_sink(self):
+        t = Term(PAIR, (ONE, ONE))
+        atoms, diags = decompose_pair(Var(0), t)
+        assert atoms == [(VAR_SINK, Var(0), t)]
+        assert not diags
+
+
+class TestTrivialRules:
+    def test_zero_on_left_dropped(self):
+        atoms, diags = decompose_pair(ZERO, Var(0))
+        assert atoms == [] and diags == []
+
+    def test_one_on_right_dropped(self):
+        atoms, diags = decompose_pair(Var(0), ONE)
+        assert atoms == [] and diags == []
+
+    def test_zero_into_term_dropped(self):
+        atoms, diags = decompose_pair(ZERO, Term(PAIR, (ZERO, ZERO)))
+        assert atoms == [] and diags == []
+
+    def test_zero_into_zero_dropped(self):
+        atoms, diags = decompose_pair(ZERO, ZERO)
+        assert atoms == [] and diags == []
+
+    def test_one_into_one_dropped(self):
+        atoms, diags = decompose_pair(ONE, ONE)
+        assert atoms == [] and diags == []
+
+
+class TestStructuralRule:
+    def test_covariant_decomposition(self):
+        left = Term(PAIR, (Var(0), Var(1)))
+        right = Term(PAIR, (Var(2), Var(3)))
+        atoms, diags = decompose_pair(left, right)
+        assert not diags
+        assert set(atoms) == {
+            (VAR_VAR, Var(0), Var(2)),
+            (VAR_VAR, Var(1), Var(3)),
+        }
+
+    def test_contravariant_reverses(self):
+        left = Term(REF, (ZERO, Var(0), Var(1)))
+        right = Term(REF, (ONE, Var(2), Var(3)))
+        atoms, diags = decompose_pair(left, right)
+        assert not diags
+        # covariant middle: v0 <= v2; contravariant last: v3 <= v1;
+        # name position 0 <= 1 is trivially dropped.
+        assert set(atoms) == {
+            (VAR_VAR, Var(0), Var(2)),
+            (VAR_VAR, Var(3), Var(1)),
+        }
+
+    def test_nested_terms_decompose_recursively(self):
+        inner_l = Term(PAIR, (Var(0), Var(1)))
+        inner_r = Term(PAIR, (Var(2), Var(3)))
+        left = Term(PAIR, (inner_l, ZERO))
+        right = Term(PAIR, (inner_r, Var(4)))
+        atoms, diags = decompose_pair(left, right)
+        assert not diags
+        assert set(atoms) == {
+            (VAR_VAR, Var(0), Var(2)),
+            (VAR_VAR, Var(1), Var(3)),
+        }
+
+    def test_deeply_nested_does_not_recurse(self):
+        # 10_000 levels of nesting would overflow Python's stack if the
+        # decomposition were recursive.
+        unary = Constructor("u", (COV,))
+        left = Var(0)
+        right = Var(1)
+        for _ in range(10_000):
+            left = Term(unary, (left,))
+            right = Term(unary, (right,))
+        atoms, diags = decompose_pair(left, right)
+        assert atoms == [(VAR_VAR, Var(0), Var(1))]
+        assert not diags
+
+    def test_mixed_term_and_constant_args(self):
+        left = Term(PAIR, (ZERO, Var(0)))
+        right = Term(PAIR, (Var(1), ONE))
+        atoms, diags = decompose_pair(left, right)
+        assert not diags
+        assert atoms == []  # 0 <= v1 and v0 <= 1 are both trivial
+
+
+class TestClashes:
+    def test_constructor_clash(self):
+        atoms, diags = decompose_pair(
+            Term(PAIR, (ZERO, ZERO)), Term(OTHER, (ONE, ONE))
+        )
+        assert atoms == []
+        assert len(diags) == 1
+        assert diags[0].kind == "constructor-clash"
+
+    def test_nonempty_in_zero(self):
+        atoms, diags = decompose_pair(Term(PAIR, (ZERO, ZERO)), ZERO)
+        assert diags[0].kind == "nonempty-in-zero"
+
+    def test_one_in_constructed(self):
+        atoms, diags = decompose_pair(ONE, Term(PAIR, (ONE, ONE)))
+        assert diags[0].kind == "one-in-constructed"
+
+    def test_one_in_zero(self):
+        atoms, diags = decompose_pair(ONE, ZERO)
+        assert diags[0].kind == "nonempty-in-zero"
+
+    def test_nested_clash_found(self):
+        left = Term(PAIR, (Term(PAIR, (ZERO, ZERO)), ZERO))
+        right = Term(PAIR, (Term(OTHER, (ONE, ONE)), ONE))
+        atoms, diags = decompose_pair(left, right)
+        assert len(diags) == 1
+
+    def test_diagnostic_str(self):
+        _, diags = decompose_pair(ONE, ZERO)
+        assert "nonempty-in-zero" in str(diags[0])
+
+
+class TestMalformed:
+    def test_rejects_non_expression_left(self):
+        with pytest.raises(MalformedExpressionError):
+            decompose_pair("x", Var(0))
+
+    def test_rejects_non_expression_right(self):
+        with pytest.raises(MalformedExpressionError):
+            decompose_pair(Var(0), 42)

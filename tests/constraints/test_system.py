@@ -1,0 +1,93 @@
+"""Tests for the ConstraintSystem builder."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSystem,
+    MalformedExpressionError,
+    SignatureError,
+    Variance,
+)
+
+
+class TestVariables:
+    def test_fresh_var_indices_are_dense(self, system):
+        variables = [system.fresh_var() for _ in range(5)]
+        assert [v.index for v in variables] == [0, 1, 2, 3, 4]
+
+    def test_fresh_vars_names(self, system):
+        variables = system.fresh_vars(3, "t")
+        assert [v.name for v in variables] == ["t0", "t1", "t2"]
+
+    def test_num_vars(self, system):
+        system.fresh_vars(4)
+        assert system.num_vars == 4
+
+    def test_var_by_index(self, system):
+        v = system.fresh_var("x")
+        assert system.var_by_index(v.index) is v
+
+    def test_find_var_by_name(self, system):
+        system.fresh_var("a")
+        b = system.fresh_var("b")
+        assert system.find_var("b") is b
+        assert system.find_var("missing") is None
+
+    def test_foreign_variable_rejected(self, system):
+        other = ConstraintSystem("other")
+        foreign = other.fresh_var()
+        with pytest.raises(MalformedExpressionError):
+            system.add(foreign, foreign)
+
+
+class TestConstructors:
+    def test_registration_and_lookup(self, system):
+        c = system.constructor("c", (Variance.COVARIANT,))
+        assert system.constructor("c", (Variance.COVARIANT,)) is c
+
+    def test_conflicting_signature_rejected(self, system):
+        system.constructor("c", (Variance.COVARIANT,))
+        with pytest.raises(SignatureError):
+            system.constructor("c", (Variance.CONTRAVARIANT,))
+
+    def test_term_by_name(self, system):
+        system.constructor("c", (Variance.COVARIANT,))
+        t = system.term("c", (system.zero,))
+        assert t.constructor.name == "c"
+
+    def test_term_unknown_name_rejected(self, system):
+        with pytest.raises(SignatureError):
+            system.term("unknown", ())
+
+    def test_zero_one_predefined(self, system):
+        assert system.zero.is_zero
+        assert system.one.is_one
+        # Registered under their names too.
+        assert system.constructor("0", ()).name == "0"
+
+
+class TestConstraints:
+    def test_add_records_constraints(self, system):
+        x, y = system.fresh_vars(2)
+        system.add(x, y)
+        assert system.constraints == ((x, y),)
+        assert len(system) == 1
+
+    def test_add_all(self, system):
+        x, y, z = system.fresh_vars(3)
+        system.add_all([(x, y), (y, z)])
+        assert len(system) == 2
+
+    def test_term_args_validated(self, system):
+        other = ConstraintSystem("other")
+        foreign = other.fresh_var()
+        c = system.constructor("c", (Variance.COVARIANT,))
+        bad = system.term(c, (foreign,))
+        with pytest.raises(MalformedExpressionError):
+            system.add(bad, system.fresh_var())
+
+    def test_repr_mentions_counts(self, system):
+        x, y = system.fresh_vars(2)
+        system.add(x, y)
+        text = repr(system)
+        assert "vars=2" in text and "constraints=1" in text

@@ -1,0 +1,34 @@
+"""Tests for argument variance."""
+
+from repro.constraints import COVARIANT, CONTRAVARIANT, Variance
+
+
+class TestVariance:
+    def test_flip_covariant(self):
+        assert Variance.COVARIANT.flip() is Variance.CONTRAVARIANT
+
+    def test_flip_contravariant(self):
+        assert Variance.CONTRAVARIANT.flip() is Variance.COVARIANT
+
+    def test_double_flip_is_identity(self):
+        for variance in Variance:
+            assert variance.flip().flip() is variance
+
+    def test_is_covariant(self):
+        assert Variance.COVARIANT.is_covariant
+        assert not Variance.CONTRAVARIANT.is_covariant
+
+    def test_is_contravariant(self):
+        assert Variance.CONTRAVARIANT.is_contravariant
+        assert not Variance.COVARIANT.is_contravariant
+
+    def test_shorthand_aliases(self):
+        assert COVARIANT is Variance.COVARIANT
+        assert CONTRAVARIANT is Variance.CONTRAVARIANT
+
+    def test_string_rendering(self):
+        assert str(Variance.COVARIANT) == "+"
+        assert str(Variance.CONTRAVARIANT) == "-"
+
+    def test_only_two_members(self):
+        assert len(list(Variance)) == 2

@@ -1,0 +1,64 @@
+"""Tests for the JSON export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    SuiteResults,
+    export_results,
+    export_results_json,
+    run_records,
+)
+from repro.workloads import benchmark
+
+
+@pytest.fixture(scope="module")
+def results():
+    return SuiteResults([benchmark("allroots"), benchmark("anagram")])
+
+
+class TestExport:
+    def test_document_shape(self, results):
+        doc = export_results(results)
+        assert doc["suite"] == ["allroots", "anagram"]
+        assert len(doc["table1"]) == 2
+        assert len(doc["runs"]) == 12
+        assert set(doc["figures"]) == {
+            "figure7", "figure8", "figure9", "figure9_work",
+            "figure10", "figure11",
+        }
+        assert "oracle_work_ratio" in doc["aggregates"]
+
+    def test_json_serializable(self, results):
+        text = export_results_json(results)
+        parsed = json.loads(text)
+        assert parsed["suite"] == ["allroots", "anagram"]
+
+    def test_run_record_fields(self, results):
+        records = run_records(results, ["IF-Online"])
+        assert len(records) == 2
+        record = records[0]
+        for key in ("benchmark", "experiment", "work", "final_edges",
+                    "vars_eliminated", "total_seconds"):
+            assert key in record
+
+    def test_figure11_entries(self, results):
+        doc = export_results(results)
+        for entry in doc["figures"]["figure11"]:
+            assert 0.0 <= entry["if_fraction"] <= 1.0
+            assert 0.0 <= entry["sf_fraction"] <= 1.0
+
+    def test_series_points_are_pairs(self, results):
+        doc = export_results(results)
+        for series in doc["figures"]["figure7"]:
+            for point in series["points"]:
+                assert len(point) == 2
+
+    def test_cli_json(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["json", "--suite", "quick"]) == 0
+        out = capsys.readouterr().out
+        parsed = json.loads(out)
+        assert "runs" in parsed

@@ -1,0 +1,91 @@
+"""Tests for the iterative Tarjan SCC implementation."""
+
+from repro.graph import (
+    strongly_connected_components,
+    summarize_sccs,
+    witness_map,
+)
+
+
+def components_as_sets(vertices, edges):
+    return {
+        frozenset(c)
+        for c in strongly_connected_components(vertices, edges)
+    }
+
+
+class TestScc:
+    def test_empty_graph(self):
+        assert strongly_connected_components([], []) == []
+
+    def test_isolated_vertices(self):
+        out = components_as_sets([1, 2, 3], [])
+        assert out == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_simple_cycle(self):
+        out = components_as_sets([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+        assert out == {frozenset({0, 1, 2})}
+
+    def test_two_cycles_joined_by_edge(self):
+        edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]
+        out = components_as_sets(range(4), edges)
+        assert out == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_self_loop_is_trivial_component(self):
+        out = components_as_sets([0], [(0, 0)])
+        assert out == {frozenset({0})}
+
+    def test_dag_reverse_topological_order(self):
+        components = strongly_connected_components(
+            [0, 1, 2], [(0, 1), (1, 2)]
+        )
+        order = [c[0] for c in components]
+        # Tarjan emits sinks first.
+        assert order.index(2) < order.index(0)
+
+    def test_vertices_only_in_edges_are_included(self):
+        out = components_as_sets([], [(7, 8)])
+        assert out == {frozenset({7}), frozenset({8})}
+
+    def test_long_chain_no_recursion_limit(self):
+        n = 30_000
+        edges = [(i, i + 1) for i in range(n - 1)]
+        components = strongly_connected_components(range(n), edges)
+        assert len(components) == n
+
+    def test_long_cycle(self):
+        n = 30_000
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        components = strongly_connected_components(range(n), edges)
+        assert len(components) == 1
+        assert len(components[0]) == n
+
+    def test_figure_4_cycle(self):
+        # The paper's Figure 4: X1 -> X2 -> X3 -> X1.
+        out = components_as_sets([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+        assert out == {frozenset({1, 2, 3})}
+
+
+class TestSummarize:
+    def test_counts(self):
+        edges = [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (5, 6)]
+        summary = summarize_sccs(range(7), edges)
+        assert summary.vars_in_cycles == 5
+        assert summary.max_scc_size == 3
+        assert summary.nontrivial_sccs == 2
+
+    def test_acyclic(self):
+        summary = summarize_sccs(range(3), [(0, 1), (1, 2)])
+        assert summary.vars_in_cycles == 0
+        assert summary.max_scc_size == 1
+        assert summary.nontrivial_sccs == 0
+
+
+class TestWitnessMap:
+    def test_witness_is_minimum(self):
+        mapping = witness_map(range(4), [(3, 2), (2, 3), (1, 0), (0, 1)])
+        assert mapping == {3: 2, 1: 0}
+
+    def test_trivial_components_not_mapped(self):
+        mapping = witness_map(range(3), [(0, 1)])
+        assert mapping == {}

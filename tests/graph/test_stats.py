@@ -1,0 +1,39 @@
+"""Tests for the statistics container."""
+
+from repro.graph import SolverStats
+
+
+class TestSolverStats:
+    def test_final_edges_sum(self):
+        stats = SolverStats()
+        stats.finalize_edges(10, 5, 3)
+        assert stats.final_edges == 18
+        assert stats.final_var_var_edges == 10
+
+    def test_total_seconds(self):
+        stats = SolverStats()
+        stats.closure_seconds = 1.5
+        stats.least_solution_seconds = 0.5
+        assert stats.total_seconds == 2.0
+
+    def test_mean_search_visits_zero_searches(self):
+        assert SolverStats().mean_search_visits == 0.0
+
+    def test_mean_search_visits(self):
+        stats = SolverStats()
+        stats.cycle_searches = 4
+        stats.cycle_search_visits = 10
+        assert stats.mean_search_visits == 2.5
+
+    def test_as_dict_keys(self):
+        d = SolverStats().as_dict()
+        for key in ("work", "redundant", "final_edges", "vars_eliminated",
+                    "total_seconds", "mean_search_visits"):
+            assert key in d
+
+    def test_fresh_counters_zero(self):
+        stats = SolverStats()
+        assert stats.work == 0
+        assert stats.redundant == 0
+        assert stats.cycles_found == 0
+        assert stats.vars_eliminated == 0

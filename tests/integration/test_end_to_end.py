@@ -1,0 +1,94 @@
+"""End-to-end integration: C source -> points-to under all configs."""
+
+import pytest
+
+from repro.andersen import (
+    analyze_source,
+    analyze_unit_steensgaard,
+    points_to_sets_equal,
+    solve_points_to,
+)
+from repro.cfront import parse
+from repro.experiments import SuiteResults, options_for
+from repro.solver import solve
+from repro.workloads import ALL_PROGRAMS, benchmark
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_hand_programs_all_configs_agree(self, name):
+        program = analyze_source(ALL_PROGRAMS[name])
+        results = [
+            solve_points_to(program, options_for(label))
+            for label in (
+                "SF-Plain", "IF-Plain", "SF-Oracle", "IF-Oracle",
+                "SF-Online", "IF-Online",
+            )
+        ]
+        for other in results[1:]:
+            assert points_to_sets_equal(results[0], other)
+
+    def test_benchmark_pipeline(self):
+        bench = benchmark("ks")
+        program = bench.program
+        online = solve_points_to(program, options_for("IF-Online"))
+        plain = solve_points_to(program, options_for("SF-Plain"))
+        assert points_to_sets_equal(online, plain)
+        assert online.solution.stats.vars_eliminated > 0
+
+    def test_steensgaard_runs_on_benchmark(self):
+        bench = benchmark("allroots")
+        result = analyze_unit_steensgaard(bench.unit)
+        assert result.total_edges() > 0
+
+    def test_points_to_graph_nonempty(self):
+        bench = benchmark("allroots")
+        result = solve_points_to(bench.program)
+        assert result.total_edges() > 10
+        assert result.average_set_size() >= 1.0
+
+
+class TestSuiteHarness:
+    def test_full_quick_suite_run(self):
+        results = SuiteResults([benchmark("allroots"), benchmark("ks")])
+        records = results.run_all()
+        assert len(records) == 12
+        by_key = {
+            (record.benchmark, record.experiment): record
+            for record in records
+        }
+        # Spot the paper's qualitative claims on the cyclic benchmark.
+        ks_plain = by_key[("ks", "SF-Plain")]
+        ks_oracle = by_key[("ks", "SF-Oracle")]
+        assert ks_oracle.work <= ks_plain.work
+
+    def test_statistics_consistent_with_program(self):
+        results = SuiteResults([benchmark("allroots")])
+        stats = results.statistics("allroots")
+        bench = benchmark("allroots")
+        assert stats.set_vars == bench.program.system.num_vars
+        assert stats.ast_nodes == bench.ast_nodes
+
+
+class TestCli:
+    def test_table4(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "IF-Online" in out
+
+    def test_model(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 5.1" in out
+        assert "Theorem 5.2" in out
+
+    def test_figure11_quick(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figure11", "--suite", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "MEAN" in out

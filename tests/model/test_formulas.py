@@ -1,0 +1,145 @@
+"""Tests for the Section 5 closed-form model."""
+
+import math
+
+import pytest
+
+from repro.model import (
+    approx_work_if,
+    approx_work_sf,
+    compare_work,
+    expected_additions_if_var_var,
+    expected_additions_sf_source_var,
+    expected_reachable_exact,
+    expected_work_if,
+    expected_work_sf,
+    knuth_q_approximation,
+    lemma_5_3_probability,
+    theorem_5_1_ratio,
+    theorem_5_2_bound,
+)
+
+
+class TestLemma53:
+    def test_var_var(self):
+        assert lemma_5_3_probability(3, "vv") == pytest.approx(2 / 6)
+        assert lemma_5_3_probability(4, "vv") == pytest.approx(2 / 12)
+
+    def test_var_constructed(self):
+        assert lemma_5_3_probability(3, "vc") == pytest.approx(1 / 2)
+
+    def test_constructed_constructed(self):
+        assert lemma_5_3_probability(10, "cc") == 1.0
+
+    def test_probabilities_in_unit_interval(self):
+        for l in range(3, 30):
+            for kind in ("vv", "vc", "cc"):
+                assert 0.0 < lemma_5_3_probability(l, kind) <= 1.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            lemma_5_3_probability(3, "xx")
+
+    def test_vv_below_vc_below_cc(self):
+        for l in range(3, 10):
+            assert (
+                lemma_5_3_probability(l, "vv")
+                < lemma_5_3_probability(l, "vc")
+                < lemma_5_3_probability(l, "cc") + 1e-12
+            )
+
+
+class TestExactSums:
+    def test_hand_computed_tiny_case(self):
+        # n=2, p=0.5: only i=1 contributes: C(1,1)*1!*p^2 = 0.25.
+        assert expected_additions_sf_source_var(2, 0.5) == pytest.approx(
+            0.25
+        )
+
+    def test_sf_additions_scale_with_p(self):
+        low = expected_additions_sf_source_var(20, 0.01)
+        high = expected_additions_sf_source_var(20, 0.2)
+        assert high > low
+
+    def test_if_var_var_smaller_than_sf_pathcount(self):
+        # The IF probability weight can only shrink the sum.
+        n, p = 30, 1 / 30
+        assert (
+            expected_additions_if_var_var(n, p)
+            < expected_additions_sf_source_var(n, p) + 1e-12
+        )
+
+    def test_totals_positive(self):
+        assert expected_work_sf(50, 33, 1 / 50) > 0
+        assert expected_work_if(50, 33, 1 / 50) > 0
+
+    def test_no_overflow_at_large_n(self):
+        value = expected_work_sf(10**6, 2 * 10**6 // 3, 1e-6)
+        assert math.isfinite(value)
+
+    def test_sf_exceeds_if_at_scale(self):
+        n = 10_000
+        m = 2 * n // 3
+        assert expected_work_sf(n, m, 1 / n) > expected_work_if(n, m, 1 / n)
+
+
+class TestTheorem51:
+    def test_ratio_increases_with_n(self):
+        ratios = [theorem_5_1_ratio(n) for n in (100, 1000, 10000, 100000)]
+        assert ratios == sorted(ratios)
+
+    def test_ratio_approaches_2_5(self):
+        assert theorem_5_1_ratio(10**6) == pytest.approx(2.5, abs=0.1)
+
+    def test_compare_work_defaults(self):
+        comparison = compare_work(300)
+        assert comparison.m == 200
+        assert comparison.p == pytest.approx(1 / 300)
+        assert comparison.ratio > 1.0
+
+
+class TestApproximations:
+    def test_knuth_q(self):
+        assert knuth_q_approximation(200) == pytest.approx(
+            math.sqrt(math.pi * 100), rel=1e-9
+        )
+
+    def test_sf_approximation_tracks_exact(self):
+        n = 2000
+        m = 2 * n // 3
+        exact = expected_work_sf(n, m, 1 / n)
+        approx = approx_work_sf(n, m)
+        assert approx == pytest.approx(exact, rel=0.15)
+
+    def test_if_approximation_same_order(self):
+        n = 2000
+        m = 2 * n // 3
+        exact = expected_work_if(n, m, 1 / n)
+        approx = approx_work_if(n, m)
+        assert 0.3 < approx / exact < 3.0
+
+
+class TestTheorem52:
+    def test_bound_value(self):
+        assert theorem_5_2_bound(2.0) == pytest.approx(
+            (math.e ** 2 - 3) / 2
+        )
+
+    def test_bound_about_2_2(self):
+        assert theorem_5_2_bound(2.0) == pytest.approx(2.195, abs=0.01)
+
+    def test_exact_below_bound(self):
+        for n in (100, 1000, 10000):
+            assert expected_reachable_exact(n, 2.0) <= theorem_5_2_bound(2.0)
+
+    def test_exact_converges_to_bound(self):
+        assert expected_reachable_exact(10**6, 2.0) == pytest.approx(
+            theorem_5_2_bound(2.0), rel=0.01
+        )
+
+    def test_climbs_sharply_with_density(self):
+        # The paper: "for graphs denser than p = 2/n the value climbs
+        # sharply — our method relies on sparse graphs."
+        sparse = theorem_5_2_bound(2.0)
+        dense = theorem_5_2_bound(6.0)
+        assert dense > 10 * sparse

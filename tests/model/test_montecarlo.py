@@ -1,0 +1,88 @@
+"""Monte-Carlo validation tests (slow-ish, kept at small n)."""
+
+import pytest
+
+from repro.model import (
+    expected_work_if,
+    expected_work_sf,
+    sample_graph,
+    simulate_reachable,
+    simulate_work,
+    theorem_5_2_bound,
+)
+
+
+class TestRandomGraph:
+    def test_deterministic_in_seed(self):
+        import random
+
+        a = sample_graph(10, 4, 0.2, random.Random(5))
+        b = sample_graph(10, 4, 0.2, random.Random(5))
+        assert a.edges == b.edges
+        assert a.ranks == b.ranks
+
+    def test_ranks_are_permutation(self):
+        import random
+
+        graph = sample_graph(20, 3, 0.1, random.Random(1))
+        assert sorted(graph.ranks) == list(range(20))
+
+    def test_no_self_edges(self):
+        import random
+
+        graph = sample_graph(10, 2, 0.9, random.Random(2))
+        assert all(src != dst for src, dst in graph.edges)
+
+    def test_density_scales(self):
+        import random
+
+        sparse = sample_graph(30, 0, 0.05, random.Random(3))
+        dense = sample_graph(30, 0, 0.5, random.Random(3))
+        assert len(dense.edges) > len(sparse.edges)
+
+    def test_node_classification(self):
+        import random
+
+        graph = sample_graph(5, 3, 0.2, random.Random(4))
+        assert graph.is_variable(4)
+        assert not graph.is_variable(5)
+        assert graph.num_nodes == 8
+
+
+class TestWorkSimulation:
+    def test_matches_sf_formula(self):
+        n, m, p = 7, 4, 1 / 7
+        sim = simulate_work(n, m, p, trials=600, seed=11)
+        formula = expected_work_sf(n, m, p)
+        assert sim.mean_work_sf == pytest.approx(formula, rel=0.2)
+
+    def test_matches_if_formula(self):
+        n, m, p = 7, 4, 1 / 7
+        sim = simulate_work(n, m, p, trials=600, seed=11)
+        formula = expected_work_if(n, m, p)
+        assert sim.mean_work_if == pytest.approx(formula, rel=0.2)
+
+    def test_deterministic(self):
+        a = simulate_work(6, 3, 0.15, trials=50, seed=2)
+        b = simulate_work(6, 3, 0.15, trials=50, seed=2)
+        assert a.mean_work_sf == b.mean_work_sf
+
+    def test_ratio_property(self):
+        sim = simulate_work(8, 5, 1 / 8, trials=200, seed=3)
+        assert sim.ratio > 0
+
+
+class TestReachableSimulation:
+    def test_below_bound(self):
+        sim = simulate_reachable(200, 2.0, trials=5, seed=7)
+        # The bound is on the expectation; allow sampling noise.
+        assert sim.mean_reachable <= theorem_5_2_bound(2.0) * 1.3
+
+    def test_sparser_reaches_less(self):
+        sparse = simulate_reachable(200, 1.0, trials=5, seed=7)
+        dense = simulate_reachable(200, 3.0, trials=5, seed=7)
+        assert sparse.mean_reachable < dense.mean_reachable
+
+    def test_max_tracked(self):
+        sim = simulate_reachable(100, 2.0, trials=3, seed=1)
+        assert sim.max_reachable >= sim.mean_reachable

@@ -1,0 +1,57 @@
+"""Tests for running the production solver on model-distributed inputs."""
+
+import pytest
+
+from repro.model import measure_solver_on_model, random_constraint_system
+from repro.solver import (
+    CyclePolicy,
+    GraphForm,
+    SolverOptions,
+    solve,
+    solve_reference,
+)
+
+
+class TestRandomConstraintSystem:
+    def test_deterministic(self):
+        a = random_constraint_system(10, 6, 0.1, seed=3)
+        b = random_constraint_system(10, 6, 0.1, seed=3)
+        assert len(a) == len(b)
+
+    def test_shape(self):
+        system = random_constraint_system(10, 6, 0.5, seed=1)
+        assert system.num_vars == 10
+        assert len(system) > 0
+
+    def test_resolution_is_inert(self):
+        # Sources k(0) meeting sinks k(1) must produce no diagnostics
+        # and no further constraints (the model's assumption).
+        system = random_constraint_system(8, 8, 0.5, seed=2)
+        solution = solve(system, SolverOptions())
+        assert solution.ok
+
+    def test_forms_agree_with_reference(self):
+        system = random_constraint_system(9, 5, 0.25, seed=4)
+        reference = solve_reference(system)
+        for form in (GraphForm.STANDARD, GraphForm.INDUCTIVE):
+            for policy in (CyclePolicy.NONE, CyclePolicy.ONLINE,
+                           CyclePolicy.ORACLE):
+                solution = solve(system, SolverOptions(
+                    form=form, cycles=policy))
+                for var in system.variables:
+                    assert solution.least_solution(var) == \
+                        reference.least_solution(var)
+
+
+class TestModelMeasurement:
+    def test_defaults_follow_theorem(self):
+        comparison = measure_solver_on_model(30, trials=2)
+        assert comparison.m == 20
+        assert comparison.p == pytest.approx(1 / 30)
+
+    def test_ratio_positive_and_grows(self):
+        small = measure_solver_on_model(50, trials=3, seed=1)
+        large = measure_solver_on_model(400, trials=2, seed=1)
+        assert small.ratio > 0
+        # Theorem 5.1: the SF/IF gap widens with n.
+        assert large.ratio > small.ratio * 0.9

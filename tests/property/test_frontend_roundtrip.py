@@ -1,0 +1,61 @@
+"""Property tests for the C frontend over generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import parse, pretty_print
+from repro.workloads import GeneratorConfig, generate_program
+
+
+def generated_source(seed, functions=8):
+    return generate_program(
+        GeneratorConfig(name="prop", seed=seed, functions=functions)
+    )
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_generated_programs_parse(seed):
+    unit = parse(generated_source(seed))
+    assert unit.count_nodes() > 50
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_pretty_print_is_fixpoint(seed):
+    source = generated_source(seed, functions=5)
+    once = pretty_print(parse(source))
+    twice = pretty_print(parse(once))
+    assert once == twice
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_pretty_print_preserves_ast_shape(seed):
+    source = generated_source(seed, functions=5)
+    original = parse(source)
+    reparsed = parse(pretty_print(original))
+    # Function inventory and statement counts survive the round trip.
+    assert [f.name for f in original.functions()] == [
+        f.name for f in reparsed.functions()
+    ]
+
+    def shape(unit):
+        return [
+            (f.name, len(f.params), f.body.count_nodes())
+            for f in unit.functions()
+        ]
+
+    assert shape(original) == shape(reparsed)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_andersen_deterministic_over_roundtrip(seed):
+    from repro.andersen import analyze_unit, solve_points_to
+
+    source = generated_source(seed, functions=4)
+    direct = solve_points_to(analyze_unit(parse(source)))
+    roundtripped = solve_points_to(
+        analyze_unit(parse(pretty_print(parse(source))))
+    )
+    assert direct.as_name_graph() == roundtripped.as_name_graph()

@@ -1,0 +1,53 @@
+"""Robustness: the parser terminates cleanly on damaged input.
+
+For arbitrary prefixes and mutations of valid generated programs the
+parser must either succeed or raise a frontend error — never hang or
+throw an unrelated exception.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import CFrontError, parse
+from repro.workloads import GeneratorConfig, generate_program
+
+
+def base_source(seed):
+    return generate_program(
+        GeneratorConfig(name="robust", seed=seed, functions=3)
+    )
+
+
+@given(st.integers(0, 500), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_prefixes_terminate(seed, cut):
+    source = base_source(seed)
+    prefix = source[: cut % (len(source) + 1)]
+    try:
+        parse(prefix)
+    except CFrontError:
+        pass  # expected for most truncations
+
+
+@given(
+    st.integers(0, 200),
+    st.integers(0, 5_000),
+    st.sampled_from("{}();,*&=<>!0aZ_\" '"),
+)
+@settings(max_examples=40, deadline=None)
+def test_single_character_mutations_terminate(seed, position, junk):
+    source = base_source(seed)
+    index = position % len(source)
+    mutated = source[:index] + junk + source[index + 1:]
+    try:
+        parse(mutated)
+    except CFrontError:
+        pass
+
+
+@given(st.text(alphabet="(){};,*&=intvoidchar \n", max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_keyword_soup_terminates(source):
+    try:
+        parse(source)
+    except CFrontError:
+        pass

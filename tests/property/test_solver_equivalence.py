@@ -1,0 +1,101 @@
+"""Property tests: every configuration computes the same least solution.
+
+Hypothesis generates random constraint systems — variable-variable
+edges, sources, sinks, and structural constraints with mixed variance —
+and checks all six solver configurations against the naive reference
+solver.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ConstraintSystem, Variance
+from repro.solver import SolverOptions, solve, solve_reference
+from tests.conftest import ALL_CONFIGS
+
+MAX_VARS = 8
+
+
+@st.composite
+def constraint_systems(draw):
+    """A random small constraint system."""
+    n = draw(st.integers(min_value=2, max_value=MAX_VARS))
+    system = ConstraintSystem("hypothesis")
+    cov = system.constructor("k", (Variance.COVARIANT,))
+    ref = system.constructor(
+        "r", (Variance.COVARIANT, Variance.CONTRAVARIANT)
+    )
+    variables = system.fresh_vars(n)
+
+    var_edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=3 * n,
+        )
+    )
+    for left, right in var_edges:
+        system.add(variables[left], variables[right])
+
+    n_sources = draw(st.integers(0, 4))
+    for index in range(n_sources):
+        target = draw(st.integers(0, n - 1))
+        system.add(
+            system.term(cov, (system.zero,), label=f"s{index}"),
+            variables[target],
+        )
+
+    # Structural constraints: r(a, b̄) <= x and x <= r(c, d̄) create
+    # transitive resolution with both variances.
+    n_structural = draw(st.integers(0, 3))
+    for index in range(n_structural):
+        a, b, c, d, x = (draw(st.integers(0, n - 1)) for _ in range(5))
+        system.add(
+            system.term(ref, (variables[a], variables[b]),
+                        label=f"src{index}"),
+            variables[x],
+        )
+        system.add(
+            variables[x],
+            system.term(ref, (variables[c], variables[d])),
+        )
+    return system
+
+
+@given(constraint_systems(), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_all_configurations_match_reference(system, seed):
+    reference = solve_reference(system)
+    for form, policy in ALL_CONFIGS:
+        solution = solve(
+            system, SolverOptions(form=form, cycles=policy, seed=seed)
+        )
+        for var in system.variables:
+            assert solution.least_solution(var) == \
+                reference.least_solution(var), (form, policy, var)
+
+
+@given(constraint_systems(), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_work_is_deterministic(system, seed):
+    for form, policy in ALL_CONFIGS:
+        options = SolverOptions(form=form, cycles=policy, seed=seed)
+        first = solve(system, options)
+        second = solve(system, options)
+        assert first.stats.work == second.stats.work
+        assert first.stats.final_edges == second.stats.final_edges
+
+
+@given(constraint_systems())
+@settings(max_examples=40, deadline=None)
+def test_online_never_more_final_edges_than_plain(system):
+    from repro.solver import CyclePolicy, GraphForm
+
+    for form in (GraphForm.STANDARD, GraphForm.INDUCTIVE):
+        plain = solve(system, SolverOptions(
+            form=form, cycles=CyclePolicy.NONE))
+        online = solve(system, SolverOptions(
+            form=form, cycles=CyclePolicy.ONLINE))
+        # Collapsing can only merge adjacency; a collapsed graph never
+        # has more distinct edges than the plain closure.
+        assert online.stats.final_edges <= plain.stats.final_edges

@@ -1,0 +1,75 @@
+"""Model-based property test for union-find."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import UnionFind
+
+
+class NaivePartition:
+    """Reference implementation: explicit set partition."""
+
+    def __init__(self, size):
+        self.sets = [{i} for i in range(size)]
+        self.witness = list(range(size))
+
+    def _set_of(self, element):
+        for index, members in enumerate(self.sets):
+            if element in members:
+                return index
+        raise AssertionError
+
+    def union_into(self, witness, absorbed):
+        w_set = self._set_of(witness)
+        a_set = self._set_of(absorbed)
+        if w_set == a_set:
+            return False
+        self.sets[w_set] |= self.sets[a_set]
+        del self.sets[a_set]
+        return True
+
+    def same(self, a, b):
+        return self._set_of(a) == self._set_of(b)
+
+
+@st.composite
+def union_sequences(draw):
+    size = draw(st.integers(2, 20))
+    ops = draw(st.lists(
+        st.tuples(st.integers(0, size - 1), st.integers(0, size - 1)),
+        max_size=40,
+    ))
+    return size, ops
+
+
+@given(union_sequences())
+@settings(max_examples=100, deadline=None)
+def test_matches_naive_partition(sequence):
+    size, ops = sequence
+    uf = UnionFind(size)
+    naive = NaivePartition(size)
+    for witness, absorbed in ops:
+        assert uf.union_into(witness, absorbed) == naive.union_into(
+            witness, absorbed
+        )
+    for a in range(size):
+        for b in range(size):
+            assert uf.same(a, b) == naive.same(a, b)
+
+
+@given(union_sequences())
+@settings(max_examples=100, deadline=None)
+def test_representative_invariants(sequence):
+    size, ops = sequence
+    uf = UnionFind(size)
+    merged = 0
+    for witness, absorbed in ops:
+        if uf.union_into(witness, absorbed):
+            merged += 1
+        # The representative of the witness's set never changes by
+        # absorbing: find(witness) stays in witness's old set.
+        assert uf.same(witness, absorbed)
+    assert uf.collapsed_count == merged
+    representatives = list(uf.representatives())
+    assert len(representatives) == size - merged
+    for rep in representatives:
+        assert uf.find(rep) == rep

@@ -1,0 +1,104 @@
+"""Tests for the incremental solver front-end."""
+
+import pytest
+
+from repro import ConstraintSystem, Variance
+from repro.solver import (
+    CyclePolicy,
+    GraphForm,
+    SolverOptions,
+    solve,
+)
+from repro.solver.incremental import IncrementalSolver
+
+
+def make_solver(**overrides):
+    base = dict(form=GraphForm.INDUCTIVE, cycles=CyclePolicy.ONLINE)
+    base.update(overrides)
+    return IncrementalSolver(SolverOptions(**base))
+
+
+class TestIncremental:
+    def test_query_between_additions(self):
+        solver = make_solver()
+        box = solver.constructor("box", (Variance.COVARIANT,))
+        x, y = solver.fresh_var("x"), solver.fresh_var("y")
+        payload = solver.term(box, (solver.zero,), label="p")
+        solver.add(payload, x)
+        assert solver.least_solution(x) == frozenset({payload})
+        assert solver.least_solution(y) == frozenset()
+        solver.add(x, y)
+        assert solver.least_solution(y) == frozenset({payload})
+
+    def test_matches_batch_solving(self):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)]
+        # Batch.
+        system = ConstraintSystem()
+        box = system.constructor("box", (Variance.COVARIANT,))
+        batch_vars = system.fresh_vars(4)
+        source = system.term(box, (system.zero,), label="s")
+        system.add(source, batch_vars[0])
+        for left, right in edges:
+            system.add(batch_vars[left], batch_vars[right])
+        batch = solve(system, SolverOptions())
+        # Incremental, one constraint at a time.
+        solver = make_solver()
+        solver.constructor("box", (Variance.COVARIANT,))
+        inc_vars = [solver.fresh_var() for _ in range(4)]
+        inc_source = solver.term("box", (solver.zero,), label="s")
+        solver.add(inc_source, inc_vars[0])
+        for left, right in edges:
+            solver.add(inc_vars[left], inc_vars[right])
+        for batch_var, inc_var in zip(batch_vars, inc_vars):
+            assert {str(t) for t in batch.least_solution(batch_var)} == {
+                str(t) for t in solver.least_solution(inc_var)
+            }
+
+    def test_online_collapse_happens_incrementally(self):
+        solver = make_solver()
+        x, y = solver.fresh_var(), solver.fresh_var()
+        solver.add(x, y)
+        assert not solver.same_component(x, y)
+        solver.add(y, x)
+        assert solver.same_component(x, y)
+        assert solver.stats.vars_eliminated == 1
+
+    def test_late_variables(self):
+        solver = make_solver()
+        box = solver.constructor("box", (Variance.COVARIANT,))
+        x = solver.fresh_var()
+        solver.add(solver.term(box, (solver.zero,), label="p"), x)
+        # Create a variable only after solving has begun.
+        y = solver.fresh_var()
+        solver.add(x, y)
+        assert len(solver.least_solution(y)) == 1
+
+    def test_standard_form_supported(self):
+        solver = make_solver(form=GraphForm.STANDARD)
+        box = solver.constructor("box", (Variance.COVARIANT,))
+        x, y = solver.fresh_var(), solver.fresh_var()
+        solver.add(solver.term(box, (solver.zero,), label="p"), x)
+        solver.add(x, y)
+        assert len(solver.least_solution(y)) == 1
+
+    def test_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalSolver(SolverOptions(cycles=CyclePolicy.ORACLE))
+
+    def test_diagnostics_accumulate(self):
+        solver = make_solver()
+        a = solver.constructor("a", ())
+        b = solver.constructor("b", ())
+        x = solver.fresh_var()
+        solver.add(solver.term(a), x)
+        assert not solver.diagnostics
+        solver.add(x, solver.term(b))
+        assert solver.diagnostics
+
+    def test_add_all(self):
+        solver = make_solver()
+        x, y, z = (solver.fresh_var() for _ in range(3))
+        solver.add_all([(x, y), (y, z)])
+        box = solver.constructor("box", (Variance.COVARIANT,))
+        solver.add(solver.term(box, (solver.zero,)), x)
+        assert len(solver.least_solution(z)) == 1

@@ -1,0 +1,39 @@
+"""Tests for solver options."""
+
+from repro.graph import CreationOrder, RandomOrder, SearchMode
+from repro.solver import CyclePolicy, GraphForm, SolverOptions
+
+
+class TestSolverOptions:
+    def test_defaults(self):
+        options = SolverOptions()
+        assert options.form is GraphForm.INDUCTIVE
+        assert options.cycles is CyclePolicy.ONLINE
+        assert options.search_mode is SearchMode.DECREASING
+
+    def test_labels(self):
+        assert SolverOptions().label == "IF-Online"
+        assert SolverOptions(
+            form=GraphForm.STANDARD, cycles=CyclePolicy.NONE
+        ).label == "SF-Plain"
+        assert SolverOptions(
+            form=GraphForm.STANDARD, cycles=CyclePolicy.ORACLE
+        ).label == "SF-Oracle"
+
+    def test_default_order_uses_seed(self):
+        options = SolverOptions(seed=7)
+        spec = options.order_spec()
+        assert isinstance(spec, RandomOrder)
+        assert spec.seed == 7
+
+    def test_explicit_order_wins(self):
+        order = CreationOrder()
+        options = SolverOptions(order=order, seed=99)
+        assert options.order_spec() is order
+
+    def test_replace(self):
+        options = SolverOptions()
+        changed = options.replace(cycles=CyclePolicy.NONE)
+        assert changed.cycles is CyclePolicy.NONE
+        assert options.cycles is CyclePolicy.ONLINE  # original untouched
+        assert changed.form is options.form

@@ -1,0 +1,79 @@
+"""Tests for the two-phase oracle (paper Section 4)."""
+
+from repro import ConstraintSystem, Variance
+from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+
+
+def cyclic_system():
+    system = ConstraintSystem()
+    c = system.constructor("c", (Variance.COVARIANT,))
+    src = system.term(c, (system.zero,), label="s")
+    v = system.fresh_vars(6)
+    system.add(src, v[0])
+    # Two separate cycles and a connecting chain.
+    system.add(v[0], v[1])
+    system.add(v[1], v[0])
+    system.add(v[1], v[2])
+    system.add(v[2], v[3])
+    system.add(v[3], v[4])
+    system.add(v[4], v[3])
+    system.add(v[4], v[5])
+    return system, v, src
+
+
+def oracle_options(form):
+    return SolverOptions(form=form, cycles=CyclePolicy.ORACLE)
+
+
+class TestOracle:
+    def test_same_answers_as_plain(self):
+        system, variables, src = cyclic_system()
+        for form in (GraphForm.STANDARD, GraphForm.INDUCTIVE):
+            plain = solve(system, SolverOptions(
+                form=form, cycles=CyclePolicy.NONE))
+            oracle = solve(system, oracle_options(form))
+            for v in variables:
+                assert oracle.least_solution(v) == plain.least_solution(v)
+
+    def test_phase1_attached(self):
+        system, _, _ = cyclic_system()
+        oracle = solve(system, oracle_options(GraphForm.STANDARD))
+        assert oracle.oracle_phase1 is not None
+        assert oracle.oracle_phase1.var_edges is not None
+
+    def test_witnessed_counts_cycle_members(self):
+        system, _, _ = cyclic_system()
+        oracle = solve(system, oracle_options(GraphForm.STANDARD))
+        # Two 2-cycles: one member of each is forwarded.
+        assert oracle.oracle_witnessed == 2
+
+    def test_oracle_graph_is_acyclic(self):
+        system, variables, _ = cyclic_system()
+        oracle = solve(system, oracle_options(GraphForm.INDUCTIVE))
+        # Members of each cycle share a representative from the start.
+        assert oracle.same_component(variables[0], variables[1])
+        assert oracle.same_component(variables[3], variables[4])
+        assert not oracle.same_component(variables[0], variables[3])
+
+    def test_oracle_does_no_more_work_than_plain(self):
+        system, _, _ = cyclic_system()
+        for form in (GraphForm.STANDARD, GraphForm.INDUCTIVE):
+            plain = solve(system, SolverOptions(
+                form=form, cycles=CyclePolicy.NONE))
+            oracle = solve(system, oracle_options(form))
+            assert oracle.stats.work <= plain.stats.work
+
+    def test_label_preserved(self):
+        system, _, _ = cyclic_system()
+        oracle = solve(system, oracle_options(GraphForm.INDUCTIVE))
+        assert oracle.options.label == "IF-Oracle"
+
+    def test_oracle_on_acyclic_system_is_plain(self):
+        system = ConstraintSystem()
+        x, y = system.fresh_vars(2)
+        system.add(x, y)
+        oracle = solve(system, oracle_options(GraphForm.STANDARD))
+        plain = solve(system, SolverOptions(
+            form=GraphForm.STANDARD, cycles=CyclePolicy.NONE))
+        assert oracle.oracle_witnessed == 0
+        assert oracle.stats.work == plain.stats.work

@@ -1,0 +1,76 @@
+"""Tests for the naive reference solver."""
+
+from repro import ConstraintSystem, Variance
+from repro.solver import SolverOptions, solve, solve_reference
+
+
+class TestReference:
+    def test_simple_chain(self):
+        system = ConstraintSystem()
+        c = system.constructor("c", ())
+        src = system.term(c, (), label="s")
+        x, y = system.fresh_vars(2)
+        system.add(src, x)
+        system.add(x, y)
+        result = solve_reference(system)
+        assert result.least_solution(y) == frozenset({src})
+
+    def test_cycle(self):
+        system = ConstraintSystem()
+        c = system.constructor("c", ())
+        src = system.term(c, ())
+        x, y = system.fresh_vars(2)
+        system.add(x, y)
+        system.add(y, x)
+        system.add(src, y)
+        result = solve_reference(system)
+        assert result.least_solution(x) == frozenset({src})
+
+    def test_structural_resolution(self):
+        system = ConstraintSystem()
+        pair = system.constructor(
+            "pair", (Variance.COVARIANT, Variance.CONTRAVARIANT)
+        )
+        atom = system.constructor("atom", ())
+        a, b, x, cov_out, con_in = system.fresh_vars(5)
+        src_atom = system.term(atom, (), label="payload")
+        system.add(src_atom, a)
+        system.add(system.term(pair, (a, b)), x)
+        system.add(x, system.term(pair, (cov_out, con_in)))
+        system.add(src_atom, con_in)
+        result = solve_reference(system)
+        # Covariant: a <= cov_out carries the payload.
+        assert result.least_solution(cov_out) == frozenset({src_atom})
+        # Contravariant: con_in <= b.
+        assert result.least_solution(b) == frozenset({src_atom})
+
+    def test_diagnostics_collected(self):
+        system = ConstraintSystem()
+        a = system.constructor("a", ())
+        b = system.constructor("b", ())
+        x = system.fresh_var()
+        system.add(system.term(a), x)
+        system.add(x, system.term(b))
+        result = solve_reference(system)
+        assert result.diagnostics
+
+    def test_agrees_with_engine_on_dense_system(self):
+        system = ConstraintSystem()
+        c = system.constructor("c", (Variance.COVARIANT,))
+        variables = system.fresh_vars(8)
+        sources = [
+            system.term(c, (system.zero,), label=f"s{i}") for i in range(3)
+        ]
+        edges = [
+            (0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3),
+            (5, 6), (6, 7),
+        ]
+        for left, right in edges:
+            system.add(variables[left], variables[right])
+        system.add(sources[0], variables[0])
+        system.add(sources[1], variables[3])
+        system.add(sources[2], variables[6])
+        reference = solve_reference(system)
+        engine = solve(system, SolverOptions())
+        for v in variables:
+            assert engine.least_solution(v) == reference.least_solution(v)

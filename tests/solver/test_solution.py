@@ -1,0 +1,76 @@
+"""Tests for the Solution object."""
+
+import pytest
+
+from repro import ConstraintSystem, Variance
+from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+
+
+def solved_cycle():
+    system = ConstraintSystem()
+    c = system.constructor("c", (Variance.COVARIANT,))
+    src = system.term(c, (system.zero,), label="s")
+    x, y, z = system.fresh_vars(3)
+    system.add(x, y)
+    system.add(y, x)
+    system.add(src, x)
+    system.add(y, z)
+    options = SolverOptions(
+        form=GraphForm.INDUCTIVE, cycles=CyclePolicy.ONLINE,
+        record_var_edges=True,
+    )
+    return system, (x, y, z), src, solve(system, options)
+
+
+class TestSolutionQueries:
+    def test_least_solution_by_index(self):
+        _, (x, _, _), src, solution = solved_cycle()
+        assert solution.least_solution_by_index(x.index) == frozenset({src})
+
+    def test_unconstrained_var_is_empty(self):
+        system = ConstraintSystem()
+        x = system.fresh_var()
+        solution = solve(system, SolverOptions())
+        assert solution.least_solution(x) == frozenset()
+
+    def test_same_component_after_collapse(self):
+        _, (x, y, z), _, solution = solved_cycle()
+        assert solution.same_component(x, y)
+        assert not solution.same_component(x, z)
+
+    def test_representative_is_stable(self):
+        _, (x, y, _), _, solution = solved_cycle()
+        assert solution.representative(x) == solution.representative(y)
+
+    def test_repr_mentions_label(self):
+        _, _, _, solution = solved_cycle()
+        assert "IF-Online" in repr(solution)
+
+    def test_ok_when_no_diagnostics(self):
+        _, _, _, solution = solved_cycle()
+        assert solution.ok
+        solution.raise_on_errors()  # must not raise
+
+
+class TestSccSummary:
+    def test_summary_requires_recording(self):
+        system = ConstraintSystem()
+        x, y = system.fresh_vars(2)
+        system.add(x, y)
+        solution = solve(system, SolverOptions())
+        with pytest.raises(ValueError):
+            solution.final_scc_summary()
+
+    def test_summary_counts_cycle(self):
+        system = ConstraintSystem()
+        x, y, z = system.fresh_vars(3)
+        system.add(x, y)
+        system.add(y, x)
+        system.add(y, z)
+        solution = solve(system, SolverOptions(
+            form=GraphForm.STANDARD, cycles=CyclePolicy.NONE,
+            record_var_edges=True,
+        ))
+        summary = solution.final_scc_summary()
+        assert summary.vars_in_cycles == 2
+        assert summary.max_scc_size == 2

@@ -1,0 +1,74 @@
+"""Tests for the DOT exporters."""
+
+from repro import ConstraintSystem, Variance
+from repro.andersen import analyze_source, solve_points_to
+from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+from repro.viz import constraint_graph_dot, points_to_dot
+
+
+def solved_example():
+    system = ConstraintSystem()
+    box = system.constructor("box", (Variance.COVARIANT,))
+    x, y, z = system.fresh_vars(3)
+    system.add(system.term(box, (system.zero,), label="s"), x)
+    system.add(x, y)
+    system.add(y, x)
+    system.add(y, z)
+    system.add(z, system.term(box, (system.fresh_var("o"),)))
+    return system, solve(system, SolverOptions(
+        form=GraphForm.INDUCTIVE, cycles=CyclePolicy.ONLINE))
+
+
+class TestConstraintGraphDot:
+    def test_valid_digraph_shell(self):
+        _, solution = solved_example()
+        dot = constraint_graph_dot(solution)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_contains_source_term(self):
+        _, solution = solved_example()
+        dot = constraint_graph_dot(solution)
+        assert "box[s](0)" in dot
+        assert "shape=box" in dot
+
+    def test_collapsed_variables_merged(self):
+        _, solution = solved_example()
+        dot = constraint_graph_dot(solution)
+        # x and y collapsed: only one of them appears as a node.
+        x_rep = solution.graph.find(0)
+        y_rep = solution.graph.find(1)
+        assert x_rep == y_rep
+        assert f"v{x_rep} [" in dot
+
+    def test_max_nodes_cap(self):
+        system = ConstraintSystem()
+        variables = system.fresh_vars(50)
+        for left, right in zip(variables, variables[1:]):
+            system.add(left, right)
+        solution = solve(system, SolverOptions())
+        dot = constraint_graph_dot(solution, max_nodes=5)
+        assert dot.count("shape=ellipse") == 5
+
+    def test_quoting(self):
+        _, solution = solved_example()
+        dot = constraint_graph_dot(solution, name='we"ird')
+        assert '\\"' in dot.splitlines()[0]
+
+
+class TestPointsToDot:
+    def test_renders_edges(self):
+        program = analyze_source(
+            "int x; int *p; int main(void) { p = &x; return 0; }"
+        )
+        result = solve_points_to(program)
+        dot = points_to_dot(result)
+        assert '"p" -> "x";' in dot
+
+    def test_empty_sets_omitted(self):
+        program = analyze_source(
+            "int *q; int main(void) { return 0; }"
+        )
+        result = solve_points_to(program)
+        dot = points_to_dot(result)
+        assert '"q"' not in dot

@@ -1,0 +1,27 @@
+"""Tests for the source-dump utility."""
+
+import os
+
+from repro.cfront import parse
+from repro.workloads import save_sources
+
+
+class TestSaveSources:
+    def test_writes_parseable_files(self, tmp_path):
+        paths = save_sources(str(tmp_path), "quick")
+        assert len(paths) == 6
+        for path in paths:
+            assert os.path.exists(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            assert parse(source).count_nodes() > 50
+
+    def test_creates_directory(self, tmp_path):
+        target = os.path.join(str(tmp_path), "nested", "dir")
+        paths = save_sources(target, "quick")
+        assert all(path.startswith(target) for path in paths)
+
+    def test_names_match_suite(self, tmp_path):
+        paths = save_sources(str(tmp_path), "quick")
+        names = {os.path.basename(p) for p in paths}
+        assert "allroots.c" in names
