@@ -10,8 +10,7 @@ moves the measured ratio into the model's regime on the same program
 skeleton.
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
 from repro.workloads.generator import generate_program
 from repro.workloads.suite import Benchmark, _config

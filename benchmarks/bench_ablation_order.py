@@ -6,8 +6,7 @@ picked."  We compare random, creation, and reverse-creation orders for
 IF-Online on the cyclic half of the suite.
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.graph import CreationOrder, RandomOrder, ReverseCreationOrder
 from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
 

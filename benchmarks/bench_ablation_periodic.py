@@ -13,8 +13,7 @@ competitive without any tuning knob — the paper's point.
 
 import time
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
 from repro.workloads import benchmark
 

@@ -8,8 +8,7 @@ We run SF-Online under both search modes on the cyclic half of the
 suite and report detection fractions and search cost.
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.graph import SearchMode
 from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
 

@@ -11,8 +11,7 @@ most of them and reduces IF's work; all configurations agree on call
 targets.
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.cfa import analyze_cfa_source, solve_cfa
 from repro.solver import CyclePolicy, GraphForm, SolverOptions
 

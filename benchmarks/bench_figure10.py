@@ -7,8 +7,8 @@ either way.
 """
 
 import pytest
-from conftest import once
 
+from repro.bench.harness import bench_once as once
 from repro.experiments import figure10, render_figure10
 
 

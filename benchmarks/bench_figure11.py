@@ -4,8 +4,7 @@ Shape: IF-Online finds the large majority of final-SCC variables
 (paper: ~80%), SF-Online about half of IF's fraction (paper: ~40%).
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.experiments import figure11, figure11_averages, render_figure11
 
 

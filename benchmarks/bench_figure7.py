@@ -5,8 +5,7 @@ generally outperforms IF-Plain (cycles add many redundant transitive
 variable-variable edges under IF).
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.experiments import figure7, render_figure7
 
 

@@ -7,8 +7,8 @@ noise on small programs).
 """
 
 import pytest
-from conftest import once
 
+from repro.bench.harness import bench_once as once
 from repro.experiments import figure8, render_figure8
 
 

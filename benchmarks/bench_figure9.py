@@ -8,8 +8,8 @@ scaled suite reaches double digits on the biggest entries).
 """
 
 import pytest
-from conftest import once
 
+from repro.bench.harness import bench_once as once
 from repro.experiments import figure9, figure9_work, render_figure9
 
 

@@ -9,8 +9,8 @@ Three layers of validation:
 """
 
 import pytest
-from conftest import once
 
+from repro.bench.harness import bench_once as once
 from repro.model import (
     expected_reachable_exact,
     expected_work_if,

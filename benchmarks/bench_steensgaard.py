@@ -10,9 +10,8 @@ variable locations) and time.
 
 import time
 
-from conftest import once
-
 from repro.andersen import analyze_unit_steensgaard, solve_points_to
+from repro.bench.harness import bench_once as once
 from repro.experiments import options_for
 
 

@@ -8,8 +8,7 @@ also appear in strongly connected components in the initial graph" for
 the majority of benchmarks).
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.experiments import render_table1, table1
 
 

@@ -12,8 +12,7 @@ Shape claims checked (Section 4):
   the direction with a smaller magnitude, see EXPERIMENTS.md).
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.experiments import oracle_work_ratio, render_table2, table2
 
 

@@ -6,8 +6,7 @@ fraction SF-Online does, and the partial searches stay tiny (the
 Theorem 5.2 regime).
 """
 
-from conftest import once
-
+from repro.bench.harness import bench_once as once
 from repro.experiments import render_table3, table3
 
 

@@ -8,7 +8,10 @@ regime where the paper's factors are visible) and can be overridden::
 
 One ``SuiteResults`` instance is shared by the whole session so each
 (benchmark, experiment) pair is solved exactly once no matter how many
-tables and figures read it.
+tables and figures read it.  It is constructed through
+:func:`repro.bench.harness.suite_results` so these scripts and the
+regression harness (``python -m repro.bench``) share one measurement
+path.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import os
 
 import pytest
 
+from repro.bench.harness import bench_once, suite_results
 from repro.experiments import SuiteResults
 
 
@@ -26,7 +30,7 @@ def suite_name() -> str:
 
 @pytest.fixture(scope="session")
 def results() -> SuiteResults:
-    return SuiteResults.for_suite(suite_name())
+    return suite_results(suite_name())
 
 
 @pytest.fixture(scope="session")
@@ -35,10 +39,6 @@ def large_benchmark(results):
     return max(results.benchmarks, key=lambda bench: bench.ast_nodes)
 
 
-def once(benchmark, func):
-    """Run ``func`` exactly once under pytest-benchmark timing.
-
-    Most of these harnesses time full analysis runs (seconds); repeated
-    rounds would multiply the suite cost for no statistical benefit.
-    """
-    return benchmark.pedantic(func, rounds=1, iterations=1)
+#: Re-exported for the ``bench_*.py`` scripts; the implementation lives
+#: in :mod:`repro.bench.harness` next to the rest of the harness.
+once = bench_once

@@ -217,7 +217,8 @@ class ConstraintGenerator:
             self._lam_ctors[arity] = ctor
         return ctor
 
-    def _make_location(self, name: str, kind: LocationKind) -> AbstractLocation:
+    def _make_location(self, name: str,
+                       kind: LocationKind) -> AbstractLocation:
         location = self.locations.make(name, kind)
         self.points_to_var[location] = self.system.fresh_var(f"X[{name}]")
         return location

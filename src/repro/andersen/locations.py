@@ -45,7 +45,10 @@ class AbstractLocation:
         return self.name
 
     def __repr__(self) -> str:
-        return f"AbstractLocation({self.uid}, {self.name!r}, {self.kind.value})"
+        return (
+            f"AbstractLocation({self.uid}, {self.name!r}, "
+            f"{self.kind.value})"
+        )
 
 
 class LocationTable:

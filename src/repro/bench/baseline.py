@@ -1,0 +1,80 @@
+"""Reading and writing benchmark reports and baselines.
+
+Fresh harness runs are written as ``BENCH_<n>.json`` scratch files
+(numbered, never overwriting an earlier run; gitignored).  The
+*baseline* is one committed report — by convention
+``benchmarks/BASELINE.json`` — that the compare step
+(:mod:`repro.bench.compare`) diffs fresh runs against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Tuple
+
+from .harness import SCHEMA_VERSION, BenchReport
+
+#: Default committed baseline location, relative to the repo root.
+DEFAULT_BASELINE = os.path.join("benchmarks", "BASELINE.json")
+
+_BENCH_FILE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+class BaselineError(ValueError):
+    """A baseline/report file is missing, malformed, or incompatible."""
+
+
+def next_bench_path(directory: str = ".") -> Tuple[str, int]:
+    """The first unused ``BENCH_<n>.json`` path in ``directory``."""
+    taken = set()
+    for entry in os.listdir(directory or "."):
+        match = _BENCH_FILE.match(entry)
+        if match:
+            taken.add(int(match.group(1)))
+    n = 1
+    while n in taken:
+        n += 1
+    return os.path.join(directory or ".", f"BENCH_{n}.json"), n
+
+
+def write_report(report: BenchReport, path: str) -> str:
+    """Serialize ``report`` to ``path`` (pretty-printed, stable order)."""
+    payload = report.to_dict()
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_next_report(report: BenchReport, directory: str = ".") -> str:
+    """Write ``report`` to the next free ``BENCH_<n>.json``."""
+    path, _ = next_bench_path(directory)
+    return write_report(report, path)
+
+
+def load_report(path: str) -> BenchReport:
+    """Load and validate a serialized report or baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise BaselineError(f"no report at {path!r}") from None
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"{path!r} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise BaselineError(f"{path!r}: expected a JSON object")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BaselineError(
+            f"{path!r}: schema_version {version!r} is not the supported "
+            f"{SCHEMA_VERSION}"
+        )
+    try:
+        return BenchReport.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as error:
+        raise BaselineError(f"{path!r}: malformed report: {error}") from None

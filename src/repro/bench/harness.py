@@ -1,0 +1,231 @@
+"""The benchmark-regression harness.
+
+``run_bench`` solves a pinned, seeded workload suite under the six
+Table-4 experiment configurations through the shared measurement
+primitive (:func:`repro.bench.measure.measure_system`) and returns a
+schema-versioned :class:`BenchReport`:
+
+* the deterministic ``SolverStats`` counters per (benchmark,
+  experiment) — exact regression oracles, reproducible across machines
+  when ``PYTHONHASHSEED`` is pinned (the CLI pins it to ``0``);
+* median-of-N wall times — noisy, gated only by a tolerance.
+
+The report serializes to ``BENCH_<n>.json`` (see
+:mod:`repro.bench.baseline`) and diffs against a committed baseline
+(see :mod:`repro.bench.compare`).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..experiments.config import EXPERIMENT_LABELS, options_for
+from ..workloads import suite
+from .measure import measure_system
+
+#: Format version of the serialized report; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+#: The pinned smoke workload: small, seeded, fast enough for CI.
+SMOKE_SUITE = "quick"
+SMOKE_REPEATS = 3
+
+
+@dataclass
+class BenchRecord:
+    """Measurements for one benchmark under one experiment."""
+
+    benchmark: str
+    experiment: str
+    counters: Dict[str, int]
+    wall_times: List[float]
+
+    @property
+    def work(self) -> int:
+        return self.counters["work"]
+
+    @property
+    def median_seconds(self) -> float:
+        times = sorted(self.wall_times)
+        mid = len(times) // 2
+        if len(times) % 2:
+            return times[mid]
+        return (times[mid - 1] + times[mid]) / 2
+
+    @property
+    def best_seconds(self) -> float:
+        return min(self.wall_times)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "experiment": self.experiment,
+            "counters": dict(self.counters),
+            "wall_times": list(self.wall_times),
+            "median_seconds": self.median_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchRecord":
+        return cls(
+            benchmark=payload["benchmark"],
+            experiment=payload["experiment"],
+            counters={k: int(v) for k, v in payload["counters"].items()},
+            wall_times=[float(t) for t in payload["wall_times"]],
+        )
+
+
+@dataclass
+class BenchReport:
+    """One full harness run over a suite, ready to serialize."""
+
+    suite: str
+    seed: int
+    repeats: int
+    experiments: List[str]
+    records: List[BenchRecord]
+    schema_version: int = SCHEMA_VERSION
+    python_version: str = field(
+        default_factory=lambda: platform.python_version()
+    )
+    hash_seed: str = field(
+        default_factory=lambda: os.environ.get("PYTHONHASHSEED", "random")
+    )
+
+    def key(self) -> Dict[Tuple[str, str], BenchRecord]:
+        return {
+            (record.benchmark, record.experiment): record
+            for record in self.records
+        }
+
+    @property
+    def total_median_seconds(self) -> float:
+        return sum(record.median_seconds for record in self.records)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "experiments": list(self.experiments),
+            "python_version": self.python_version,
+            "hash_seed": self.hash_seed,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchReport":
+        return cls(
+            suite=payload["suite"],
+            seed=int(payload["seed"]),
+            repeats=int(payload["repeats"]),
+            experiments=list(payload["experiments"]),
+            records=[
+                BenchRecord.from_dict(entry) for entry in payload["records"]
+            ],
+            schema_version=int(payload["schema_version"]),
+            python_version=payload.get("python_version", "unknown"),
+            hash_seed=str(payload.get("hash_seed", "random")),
+        )
+
+
+def run_bench(
+    suite_name: str = SMOKE_SUITE,
+    experiments: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    repeats: int = SMOKE_REPEATS,
+    benchmarks: Optional[Iterable[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run the harness and return the report.
+
+    ``benchmarks`` optionally restricts the suite to the named entries
+    (used by the fast unit tests); ``progress`` receives one line per
+    completed (benchmark, experiment) pair.
+    """
+    labels = list(experiments) if experiments else list(EXPERIMENT_LABELS)
+    selected = suite(suite_name)
+    if benchmarks is not None:
+        wanted = set(benchmarks)
+        selected = [bench for bench in selected if bench.name in wanted]
+        missing = wanted - {bench.name for bench in selected}
+        if missing:
+            raise KeyError(
+                f"benchmarks not in suite {suite_name!r}: {sorted(missing)}"
+            )
+    records: List[BenchRecord] = []
+    for bench in selected:
+        system = bench.program.system  # build outside the timed region
+        for label in labels:
+            measured = measure_system(
+                system, options_for(label, seed=seed), repeats=repeats
+            )
+            records.append(
+                BenchRecord(
+                    benchmark=bench.name,
+                    experiment=label,
+                    counters=measured.counters,
+                    wall_times=measured.wall_times,
+                )
+            )
+            if progress is not None:
+                progress(
+                    f"{bench.name:<14} {label:<10} "
+                    f"work={measured.counters['work']:>9} "
+                    f"median={measured.median_seconds * 1000:8.1f}ms"
+                )
+    return BenchReport(
+        suite=suite_name,
+        seed=seed,
+        repeats=repeats,
+        experiments=labels,
+        records=records,
+    )
+
+
+def render_report(report: BenchReport) -> str:
+    """A compact human-readable table of one report."""
+    lines = [
+        f"suite={report.suite} seed={report.seed} repeats={report.repeats} "
+        f"python={report.python_version} hash_seed={report.hash_seed}",
+        f"{'benchmark':<14} {'experiment':<10} {'work':>10} "
+        f"{'median_ms':>10}",
+    ]
+    for record in report.records:
+        lines.append(
+            f"{record.benchmark:<14} {record.experiment:<10} "
+            f"{record.work:>10} {record.median_seconds * 1000:>10.1f}"
+        )
+    lines.append(
+        f"total median wall time: {report.total_median_seconds:.3f}s"
+    )
+    return "\n".join(lines)
+
+
+def suite_results(which: str = "medium", seed: int = 0, repeats: int = 1):
+    """Construct the experiment runner used by the benchmark scripts.
+
+    The pytest benchmark scripts under ``benchmarks/`` build their
+    shared :class:`~repro.experiments.SuiteResults` through this hook so
+    table/figure reproduction and regression tracking enter the same
+    measurement path (``SuiteResults`` itself times runs via
+    :func:`repro.bench.measure.measure_system`).
+    """
+    from ..experiments.runner import SuiteResults
+
+    return SuiteResults.for_suite(which, seed=seed, repeats=repeats)
+
+
+def bench_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The table/figure harnesses time full analysis runs (seconds);
+    repeated rounds would multiply the suite cost for no statistical
+    benefit — regression tracking of solver time lives in
+    :func:`run_bench`, not in pytest-benchmark statistics.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

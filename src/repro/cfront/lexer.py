@@ -136,7 +136,8 @@ class Lexer:
         length = len(source)
         while self.pos < length:
             char = source[self.pos]
-            if char == "*" and self.pos + 1 < length and source[self.pos + 1] == "/":
+            if (char == "*" and self.pos + 1 < length
+                    and source[self.pos + 1] == "/"):
                 self._advance(2)
                 return
             if char == "\n":
@@ -192,7 +193,8 @@ class Lexer:
                 is_float = True
             self._advance(1)
         text = source[start : self.pos]
-        return Token(FLOAT_CONST if is_float else INT_CONST, text, line, column)
+        kind = FLOAT_CONST if is_float else INT_CONST
+        return Token(kind, text, line, column)
 
     def _lex_string(self) -> Token:
         line, column = self.line, self.column

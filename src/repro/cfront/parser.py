@@ -69,7 +69,8 @@ _BINARY_PRECEDENCE = {
 
 
 class Parser:
-    """One-file C parser producing a :class:`repro.cfront.ast.TranslationUnit`."""
+    """One-file C parser producing a
+    :class:`repro.cfront.ast.TranslationUnit`."""
 
     def __init__(self, source: str, filename: str = "<input>") -> None:
         self.tokens = tokenize(source, filename)
@@ -142,7 +143,9 @@ class Parser:
         if isinstance(full_type, Function) and self._peek().is_punct("{"):
             items.append(self._function_definition(name, full_type))
             return items
-        items.extend(self._init_declarators(name, full_type, base_type, storage))
+        items.extend(
+            self._init_declarators(name, full_type, base_type, storage)
+        )
         self._expect(";")
         return items
 
@@ -175,7 +178,9 @@ class Parser:
         if self._accept(";"):
             return items
         name, full_type = self._declarator(base_type)
-        items.extend(self._init_declarators(name, full_type, base_type, storage))
+        items.extend(
+            self._init_declarators(name, full_type, base_type, storage)
+        )
         self._expect(";")
         return items
 
@@ -444,7 +449,8 @@ class Parser:
         self, name: str, function_type: Function
     ) -> ast.FunctionDef:
         params = [
-            ast.ParamDecl(p.name, p.type) for p in getattr(self, "_last_params", [])
+            ast.ParamDecl(p.name, p.type)
+            for p in getattr(self, "_last_params", [])
         ]
         body = self._compound_statement()
         return ast.FunctionDef(name, function_type, params, body)

@@ -201,7 +201,8 @@ class PrettyPrinter:
         if isinstance(node, ast.Postfix):
             return f"({self.expr(node.operand)}{node.op})"
         if isinstance(node, ast.Binary):
-            return f"({self.expr(node.left)} {node.op} {self.expr(node.right)})"
+            left, right = self.expr(node.left), self.expr(node.right)
+            return f"({left} {node.op} {right})"
         if isinstance(node, ast.Assign):
             return (
                 f"{self.expr(node.target)} {node.op} {self.expr(node.value)}"
@@ -221,7 +222,8 @@ class PrettyPrinter:
             op = "->" if node.arrow else "."
             return f"{self.expr(node.base)}{op}{node.name}"
         if isinstance(node, ast.Cast):
-            return f"(({type_to_str(node.target_type)}){self.expr(node.operand)})"
+            target = type_to_str(node.target_type)
+            return f"(({target}){self.expr(node.operand)})"
         if isinstance(node, ast.SizeOf):
             if node.operand is not None:
                 return f"sizeof({self.expr(node.operand)})"

@@ -102,10 +102,20 @@ class Term(SetExpression):
         self.constructor = constructor
         self.args = args
         self.label = label
-        self._hash = hash((constructor, args, label))
+        # ``hash(None)`` is address-based before Python 3.12, which would
+        # make unlabeled-term hashes (and hence set iteration order and
+        # the solver's Work counts) vary between processes.  Omit the
+        # label from the hash when absent; equality still checks it.
+        if label is None:
+            self._hash = hash((constructor, args))
+        else:
+            self._hash = hash((constructor, args, label))
 
     def __repr__(self) -> str:
-        return f"Term({self.constructor.name!r}, {self.args!r}, {self.label!r})"
+        return (
+            f"Term({self.constructor.name!r}, {self.args!r}, "
+            f"{self.label!r})"
+        )
 
     def __str__(self) -> str:
         tag = f"[{self.label}]" if self.label is not None else ""

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from .constructors import ONE_CONSTRUCTOR, ZERO_CONSTRUCTOR
 from .errors import ConstraintDiagnostic, MalformedExpressionError
 from .expressions import SetExpression, Term, Var
+from .variance import Variance
 
 #: Tag for an atomic ``X <= Y`` constraint: ``(VAR_VAR, X, Y)``.
 VAR_VAR = "vv"
@@ -47,35 +49,48 @@ def decompose(
     Appends atomic constraints to ``atoms`` and inconsistency reports to
     ``diagnostics``.  Uses an explicit work stack so deeply nested terms
     cannot overflow the Python recursion limit.
+
+    This function sits on the solver's hot path (one call per ``rr``
+    worklist operation), so the type dispatch is written with local
+    bindings and identity checks instead of the ``is_zero``/``is_one``
+    convenience properties.
     """
+    append = atoms.append
+    covariant = Variance.COVARIANT
     stack = [(left, right)]
+    push = stack.append
+    pop = stack.pop
     while stack:
-        l, r = stack.pop()
-        if isinstance(l, Term) and l.is_zero:
+        l, r = pop()
+        l_is_term = isinstance(l, Term)
+        if l_is_term and l.constructor is ZERO_CONSTRUCTOR:
             continue  # 0 <= se : trivially true
-        if isinstance(r, Term) and r.is_one:
+        r_is_term = isinstance(r, Term)
+        if r_is_term and r.constructor is ONE_CONSTRUCTOR:
             continue  # se <= 1 : trivially true
-        l_is_var = isinstance(l, Var)
-        r_is_var = isinstance(r, Var)
-        if l_is_var and r_is_var:
-            atoms.append((VAR_VAR, l, r))
-        elif l_is_var:
-            if not isinstance(r, Term):
+        if isinstance(l, Var):
+            if isinstance(r, Var):
+                append((VAR_VAR, l, r))
+            elif r_is_term:
+                append((VAR_SINK, l, r))
+            else:
                 raise MalformedExpressionError(f"bad sink expression {r!r}")
-            atoms.append((VAR_SINK, l, r))
-        elif r_is_var:
-            if not isinstance(l, Term):
+        elif isinstance(r, Var):
+            if l_is_term:
+                append((SOURCE_VAR, l, r))
+            else:
                 raise MalformedExpressionError(f"bad source expression {l!r}")
-            atoms.append((SOURCE_VAR, l, r))
-        elif isinstance(l, Term) and isinstance(r, Term):
-            if l.constructor == r.constructor:
+        elif l_is_term and r_is_term:
+            l_ctor = l.constructor
+            r_ctor = r.constructor
+            if l_ctor is r_ctor or l_ctor == r_ctor:
                 for variance, l_arg, r_arg in zip(
-                    l.constructor.signature, l.args, r.args
+                    l_ctor.signature, l.args, r.args
                 ):
-                    if variance.is_covariant:
-                        stack.append((l_arg, r_arg))
+                    if variance is covariant:
+                        push((l_arg, r_arg))
                     else:
-                        stack.append((r_arg, l_arg))
+                        push((r_arg, l_arg))
             else:
                 diagnostics.append(_clash(l, r))
         else:

@@ -142,7 +142,8 @@ class ConstraintSystem:
     # ------------------------------------------------------------------
     def _check_expr(self, expr: SetExpression) -> None:
         if isinstance(expr, Var):
-            if expr.index >= len(self._vars) or self._vars[expr.index] is not expr:
+            if (expr.index >= len(self._vars)
+                    or self._vars[expr.index] is not expr):
                 raise MalformedExpressionError(
                     f"variable {expr!r} does not belong to this system"
                 )

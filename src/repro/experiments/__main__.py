@@ -12,14 +12,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..model import (
-    simulate_reachable,
-    simulate_work,
-    expected_work_if,
-    expected_work_sf,
-    theorem_5_1_ratio,
-    theorem_5_2_bound,
-)
 from . import (
     SuiteResults,
     export_results_json,
@@ -33,6 +25,14 @@ from . import (
     render_table3,
     render_table4,
     oracle_work_ratio,
+)
+from ..model import (
+    simulate_reachable,
+    simulate_work,
+    expected_work_if,
+    expected_work_sf,
+    theorem_5_1_ratio,
+    theorem_5_2_bound,
 )
 
 _TARGETS = (

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List
+from typing import List
 
 from ..solver import CyclePolicy, GraphForm, SolverOptions
 

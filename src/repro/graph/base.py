@@ -61,6 +61,18 @@ class ConstraintGraphBase:
         self.max_search_visits = max_search_visits
         self.trace = trace
         self.unionfind = UnionFind(num_vars)
+        # Hot-path bindings: `find` and `rank` are called several times
+        # per worklist operation, so shadow the convenience methods below
+        # with direct bound callables (one call frame less per lookup).
+        # `_uf_parent` and `_ranks` alias the underlying arrays so the
+        # add_* fast paths can test "is already a representative" and
+        # compare ranks with plain list indexing instead of a call.  All
+        # of these stay valid across `grow` because UnionFind and
+        # VariableOrder extend their backing lists in place.
+        self.find = self.unionfind.find
+        self.rank = order.ranks.__getitem__
+        self._uf_parent = self.unionfind._parent
+        self._ranks = order.ranks
         self.succ_vars: List[Set[int]] = [set() for _ in range(num_vars)]
         self.pred_vars: List[Set[int]] = [set() for _ in range(num_vars)]
         self.sources: List[Set[Term]] = [set() for _ in range(num_vars)]
@@ -69,10 +81,10 @@ class ConstraintGraphBase:
     # ------------------------------------------------------------------
     # Small helpers
     # ------------------------------------------------------------------
-    def find(self, var_index: int) -> int:
+    def find(self, var_index: int) -> int:  # shadowed in __init__
         return self.unionfind.find(var_index)
 
-    def rank(self, var_index: int) -> int:
+    def rank(self, var_index: int) -> int:  # shadowed in __init__
         return self.order.ranks[var_index]
 
     def grow(self, num_vars: int) -> None:

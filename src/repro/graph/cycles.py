@@ -56,11 +56,14 @@ def find_chain_path(
         return [start]
     decreasing = mode is SearchMode.DECREASING
     visited: Set[int] = {start}
+    visited_add = visited.add
     parent: Dict[int, int] = {}
     stack: List[int] = [start]
+    stack_pop = stack.pop
+    stack_append = stack.append
     visits = 0
     while stack:
-        current = stack.pop()
+        current = stack_pop()
         visits += 1
         if max_visits is not None and visits > max_visits:
             break
@@ -76,12 +79,12 @@ def find_chain_path(
             else:
                 if neighbour_rank <= current_rank:
                     continue
-            visited.add(neighbour)
+            visited_add(neighbour)
             parent[neighbour] = current
             if neighbour == target:
                 stats.cycle_search_visits += visits
                 return _reconstruct(parent, start, target)
-            stack.append(neighbour)
+            stack_append(neighbour)
     stats.cycle_search_visits += visits
     return None
 

@@ -33,14 +33,20 @@ class StandardGraph(ConstraintGraphBase):
 
     def add_var_var(self, left: int, right: int) -> None:
         """Process the atomic constraint ``X <= Y`` (a successor edge)."""
-        self.stats.work += 1
-        left = self.find(left)
-        right = self.find(right)
+        stats = self.stats
+        stats.work += 1
+        parent = self._uf_parent
+        find = self.find
+        if parent[left] != left:
+            left = find(left)
+        if parent[right] != right:
+            right = find(right)
         if left == right:
-            self.stats.self_edges += 1
+            stats.self_edges += 1
             return
-        if right in self.succ_vars[left]:
-            self.stats.redundant += 1
+        bucket = self.succ_vars[left]
+        if right in bucket:
+            stats.redundant += 1
             return
         if self.online_cycles:
             # Search for a successor chain right -> ... -> left; together
@@ -51,24 +57,30 @@ class StandardGraph(ConstraintGraphBase):
             if collapsed:
                 # left and right are now the same vertex; the new edge
                 # would be a self loop.
-                if self.find(left) == self.find(right):
+                left = find(left)
+                right = find(right)
+                if left == right:
                     return
-                left = self.find(left)
-                right = self.find(right)
-        self.succ_vars[left].add(right)
+                bucket = self.succ_vars[left]
+        bucket.add(right)
         emit = self.emit
         for term in self.sources[left]:
             emit((OP_SOURCE, term, right))
 
     def add_source(self, term: Term, var_index: int) -> None:
         """Process ``c(...) <= X``: record and propagate forward."""
-        self.stats.work += 1
-        var_index = self.find(var_index)
+        stats = self.stats
+        stats.work += 1
+        if self._uf_parent[var_index] != var_index:
+            var_index = self.find(var_index)
         bucket = self.sources[var_index]
-        if term in bucket:
-            self.stats.redundant += 1
-            return
+        # Single-probe redundancy check: `add` reports a duplicate
+        # through an unchanged size, sparing the separate `in` lookup.
+        size = len(bucket)
         bucket.add(term)
+        if len(bucket) == size:
+            stats.redundant += 1
+            return
         emit = self.emit
         for succ in self.succ_vars[var_index]:
             emit((OP_SOURCE, term, succ))
@@ -77,13 +89,16 @@ class StandardGraph(ConstraintGraphBase):
 
     def add_sink(self, var_index: int, term: Term) -> None:
         """Process ``X <= c(...)``: record and resolve against sources."""
-        self.stats.work += 1
-        var_index = self.find(var_index)
+        stats = self.stats
+        stats.work += 1
+        if self._uf_parent[var_index] != var_index:
+            var_index = self.find(var_index)
         bucket = self.sinks[var_index]
-        if term in bucket:
-            self.stats.redundant += 1
-            return
+        size = len(bucket)
         bucket.add(term)
+        if len(bucket) == size:
+            stats.redundant += 1
+            return
         emit = self.emit
         for source in self.sources[var_index]:
             emit((OP_RESOLVE, source, term))

@@ -13,9 +13,14 @@ from dataclasses import dataclass
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class SolverStats:
-    """Mutable statistics accumulated during one solver run."""
+    """Mutable statistics accumulated during one solver run.
+
+    Declared with ``slots=True``: the counters are incremented on every
+    worklist operation, and slot access keeps those increments off the
+    instance-dict path.
+    """
 
     #: attempted atomic edge additions (incl. redundant); the Work metric
     work: int = 0

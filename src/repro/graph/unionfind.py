@@ -35,7 +35,10 @@ class UnionFind:
     def find(self, element: int) -> int:
         """Return the representative of ``element`` with path compression."""
         parent = self._parent
-        root = element
+        root = parent[element]
+        if root == element:
+            # Fast path: most finds hit a representative directly.
+            return root
         while parent[root] != root:
             root = parent[root]
         while parent[element] != root:

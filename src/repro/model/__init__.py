@@ -24,15 +24,15 @@ from .montecarlo import (
     simulate_reachable,
     simulate_work,
 )
-from .solver_validation import (
-    SolverModelComparison,
-    measure_solver_on_model,
-    random_constraint_system,
-)
 from .randomgraph import (
     RandomConstraintGraph,
     sample_graph,
     sample_variable_graph,
+)
+from .solver_validation import (
+    SolverModelComparison,
+    measure_solver_on_model,
+    random_constraint_system,
 )
 
 __all__ = [

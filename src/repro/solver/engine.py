@@ -15,7 +15,7 @@ from collections import deque
 from typing import Deque, Dict, FrozenSet, List, Set, Tuple
 
 from ..constraints.errors import ConstraintDiagnostic
-from ..constraints.expressions import SetExpression, Term, Var
+from ..constraints.expressions import SetExpression, Term
 from ..constraints.resolution import decompose
 from ..constraints.system import ConstraintSystem
 from ..graph.base import (
@@ -41,8 +41,10 @@ class SolverEngine:
     it needs two engine runs.
     """
 
-    def __init__(self, system: ConstraintSystem, options: SolverOptions) -> None:
-        if options.cycles is CyclePolicy.ORACLE and options.alias_map is None:
+    def __init__(self, system: ConstraintSystem,
+                 options: SolverOptions) -> None:
+        if (options.cycles is CyclePolicy.ORACLE
+                and options.alias_map is None):
             raise ValueError(
                 "oracle runs must go through repro.solver.solve, which "
                 "performs the two-phase witness computation"
@@ -69,7 +71,11 @@ class SolverEngine:
             trace=options.trace,
         )
         self.record_var_edges = options.record_var_edges
-        self.var_edges: Set[Tuple[int, int]] = set()
+        # Recorded var-var constraints are interned as packed integer
+        # keys ``(left << 32) | right`` — one int hash per edge instead
+        # of a tuple allocation + tuple hash on every recorded operation.
+        # They are decoded back to pairs once, in :meth:`_make_solution`.
+        self._var_edge_keys: Set[int] = set()
         self._periodic = options.cycles is CyclePolicy.PERIODIC
         self._periodic_interval = max(1, options.periodic_interval)
         self._since_sweep = 0
@@ -98,16 +104,35 @@ class SolverEngine:
     # ------------------------------------------------------------------
     def _drain(self) -> None:
         pending = self.pending
+        popleft = pending.popleft
         graph = self.graph
+        add_var_var = graph.add_var_var
+        add_source = graph.add_source
+        add_sink = graph.add_sink
+        resolve = self._resolve
         record = self.record_var_edges
-        var_edges = self.var_edges
+        edge_keys = self._var_edge_keys
         periodic = self._periodic
+        if not record and not periodic:
+            # Fast drain: identical dispatch without the per-operation
+            # record/periodic checks (the overwhelmingly common case).
+            while pending:
+                tag, first, second = popleft()
+                if tag == OP_VAR_VAR:
+                    add_var_var(first, second)
+                elif tag == OP_SOURCE:
+                    add_source(first, second)
+                elif tag == OP_SINK:
+                    add_sink(first, second)
+                else:
+                    resolve(first, second)
+            return
         while pending:
-            tag, first, second = pending.popleft()
+            tag, first, second = popleft()
             if tag == OP_VAR_VAR:
                 if record:
-                    var_edges.add((first, second))
-                graph.add_var_var(first, second)
+                    edge_keys.add((first << 32) | second)
+                add_var_var(first, second)
                 if periodic:
                     self._since_sweep += 1
                     if self._since_sweep >= self._periodic_interval:
@@ -119,11 +144,11 @@ class SolverEngine:
                                 "sweep", {"eliminated": eliminated}
                             )
             elif tag == OP_SOURCE:
-                graph.add_source(first, second)
+                add_source(first, second)
             elif tag == OP_SINK:
-                graph.add_sink(first, second)
+                add_sink(first, second)
             else:
-                self._resolve(first, second)
+                resolve(first, second)
 
     def _resolve(self, left: SetExpression, right: SetExpression) -> None:
         """Apply the resolution rules R and enqueue the atomic results."""
@@ -156,6 +181,11 @@ class SolverEngine:
             for rep in graph.unionfind.representatives()
             if rep < graph.num_vars
         }
+
+    @property
+    def var_edges(self) -> Set[Tuple[int, int]]:
+        """Recorded var-var constraints, decoded from the interned keys."""
+        return {(key >> 32, key & 0xFFFFFFFF) for key in self._var_edge_keys}
 
     def _make_solution(self, least: Dict[int, FrozenSet[Term]]) -> Solution:
         return Solution(

@@ -162,7 +162,8 @@ class CProgramGenerator:
         for index in range(max(2, self.config.shared_pool)):
             name = f"sh_p{index}"
             self.shared.ptrs.append(name)
-            self.lines.append(f"int *{name} = &{self.rng.choice(self.shared.ints)};")
+            target = self.rng.choice(self.shared.ints)
+            self.lines.append(f"int *{name} = &{target};")
         for index in range(max(1, self.config.shared_pool // 3)):
             name = f"sh_n{index}"
             self.shared.nodes.append(name)

@@ -1,6 +1,5 @@
 """Andersen's analysis on basic pointer programs with known answers."""
 
-import pytest
 
 from repro.andersen import analyze_source, solve_points_to
 from repro.workloads import ALL_PROGRAMS
@@ -14,7 +13,8 @@ def points_to(source, *names):
 
 class TestAssignments:
     def test_address_of(self):
-        (p,) = points_to("int x; int *p; int main(void) { p = &x; return 0; }", "p")
+        source = "int x; int *p; int main(void) { p = &x; return 0; }"
+        (p,) = points_to(source, "p")
         assert p == ["x"]
 
     def test_copy_propagates(self):
@@ -104,7 +104,8 @@ class TestAssignments:
         assert cp == ["x"]
 
     def test_global_initializer(self):
-        (p,) = points_to("int x; int *p = &x; int main(void) { return 0; }", "p")
+        source = "int x; int *p = &x; int main(void) { return 0; }"
+        (p,) = points_to(source, "p")
         assert p == ["x"]
 
     def test_swap_via_double_pointers(self):

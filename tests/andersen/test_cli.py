@@ -1,7 +1,5 @@
 """Tests for the points-to command line."""
 
-import json
-import os
 
 import pytest
 

@@ -1,8 +1,7 @@
 """Tests for closure analysis (0CFA) over the set-constraint solver."""
 
-import pytest
 
-from repro.cfa import analyze_cfa_source, parse_expr, solve_cfa
+from repro.cfa import analyze_cfa_source, solve_cfa
 from repro.solver import CyclePolicy, GraphForm, SolverOptions
 from tests.conftest import ALL_CONFIGS
 
@@ -31,7 +30,8 @@ class TestBasics:
     def test_unapplied_lambda_param_empty(self):
         source = "(lambda (x) x)"
         result, program = closures(source)
-        assert result.closure_names_of(program.root) == {"lam@%d" % program.root.label}
+        expected = {"lam@%d" % program.root.label}
+        assert result.closure_names_of(program.root) == expected
 
     def test_application_returns_body_values(self):
         result, program = closures(

@@ -55,6 +55,7 @@ class TestExport:
             for point in series["points"]:
                 assert len(point) == 2
 
+    @pytest.mark.slow
     def test_cli_json(self, capsys):
         from repro.experiments.__main__ import main
 

@@ -1,6 +1,6 @@
 """Behavioural tests for the standard-form graph (paper Section 2.3)."""
 
-from repro import ConstraintSystem, Variance
+from repro import Variance
 from repro.graph import CreationOrder
 from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
 

@@ -8,10 +8,10 @@ from repro.andersen import (
     points_to_sets_equal,
     solve_points_to,
 )
-from repro.cfront import parse
 from repro.experiments import SuiteResults, options_for
-from repro.solver import solve
 from repro.workloads import ALL_PROGRAMS, benchmark
+
+pytestmark = pytest.mark.slow
 
 
 class TestPipeline:

@@ -5,6 +5,7 @@ combination must produce identical points-to graphs — the headline
 correctness property of the reproduction.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.andersen import analyze_unit, solve_points_to
@@ -12,6 +13,9 @@ from repro.cfront import parse
 from repro.solver import SolverOptions
 from repro.workloads import GeneratorConfig, generate_program
 from tests.conftest import ALL_CONFIGS
+
+pytestmark = pytest.mark.slow
+
 
 
 def program_for(seed):

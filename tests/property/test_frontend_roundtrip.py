@@ -1,9 +1,13 @@
 """Property tests for the C frontend over generated programs."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cfront import parse, pretty_print
 from repro.workloads import GeneratorConfig, generate_program
+
+pytestmark = pytest.mark.slow
+
 
 
 def generated_source(seed, functions=8):

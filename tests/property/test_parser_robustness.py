@@ -5,10 +5,13 @@ parser must either succeed or raise a frontend error — never hang or
 throw an unrelated exception.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cfront import CFrontError, parse
 from repro.workloads import GeneratorConfig, generate_program
+
+pytestmark = pytest.mark.slow
 
 
 def base_source(seed):
@@ -33,6 +36,7 @@ def test_prefixes_terminate(seed, cut):
     st.integers(0, 5_000),
     st.sampled_from("{}();,*&=<>!0aZ_\" '"),
 )
+
 @settings(max_examples=40, deadline=None)
 def test_single_character_mutations_terminate(seed, position, junk):
     source = base_source(seed)

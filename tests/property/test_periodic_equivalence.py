@@ -1,5 +1,6 @@
 """Property test: the periodic policy preserves least solutions."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import ConstraintSystem, Variance
@@ -10,6 +11,8 @@ from repro.solver import (
     solve,
     solve_reference,
 )
+
+pytestmark = pytest.mark.slow
 
 
 @st.composite

@@ -6,11 +6,15 @@ and checks all six solver configurations against the naive reference
 solver.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import ConstraintSystem, Variance
 from repro.solver import SolverOptions, solve, solve_reference
 from tests.conftest import ALL_CONFIGS
+
+pytestmark = pytest.mark.slow
+
 
 MAX_VARS = 8
 

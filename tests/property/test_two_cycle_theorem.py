@@ -8,11 +8,15 @@ must lose at least one variable to collapsing.  (The same does not hold
 for SF, which the companion test demonstrates by exhibiting misses.)
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import ConstraintSystem
 from repro.graph.scc import strongly_connected_components
 from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+
+pytestmark = pytest.mark.slow
+
 
 
 @st.composite

@@ -1,8 +1,12 @@
 """Model-based property test for union-find."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import UnionFind
+
+pytestmark = pytest.mark.slow
+
 
 
 class NaivePartition:

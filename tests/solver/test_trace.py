@@ -1,6 +1,6 @@
 """Tests for the solver trace hook."""
 
-from repro import ConstraintSystem, Variance
+from repro import ConstraintSystem
 from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
 
 
