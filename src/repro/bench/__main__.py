@@ -90,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "recorded on different hardware)",
     )
     parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="attach telemetry sinks and write trace_summary.json + "
+             "trace_spans.json (Chrome/Perfetto) into DIR; counters "
+             "are unaffected, wall times carry the observation cost",
+    )
+    parser.add_argument(
         "--no-pin-hashseed", action="store_true",
         help="do not re-exec with PYTHONHASHSEED=0 (work counts of "
              "Online configurations then vary between processes)",
@@ -124,12 +130,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             repeats=repeats,
             progress=lambda line: print(line, flush=True),
+            trace_dir=args.trace,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     print()
     print(render_report(report))
+    if args.trace:
+        print(f"\nwrote trace artifacts to {args.trace}/")
     if not args.no_output:
         path = write_next_report(report, args.out)
         print(f"\nwrote {path}")

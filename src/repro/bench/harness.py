@@ -140,12 +140,23 @@ def run_bench(
     repeats: int = SMOKE_REPEATS,
     benchmarks: Optional[Iterable[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    trace_dir: Optional[str] = None,
 ) -> BenchReport:
     """Run the harness and return the report.
 
     ``benchmarks`` optionally restricts the suite to the named entries
     (used by the fast unit tests); ``progress`` receives one line per
     completed (benchmark, experiment) pair.
+
+    ``trace_dir`` attaches a bounded-memory telemetry sink
+    (:class:`repro.trace.histogram.HistogramSink`) to every run and
+    writes ``trace_summary.json`` (per-run distributions and phase
+    times) plus ``trace_spans.json`` (a Chrome/Perfetto view of the
+    phase spans) into that directory.  Sinks observe without steering,
+    so every deterministic counter in the returned report is identical
+    to an untraced run; only wall times carry the (small) observation
+    cost, which is why traced reports should not be promoted to timing
+    baselines.
     """
     labels = list(experiments) if experiments else list(EXPERIMENT_LABELS)
     selected = suite(suite_name)
@@ -157,13 +168,21 @@ def run_bench(
             raise KeyError(
                 f"benchmarks not in suite {suite_name!r}: {sorted(missing)}"
             )
+    telemetry: List[tuple] = []
     records: List[BenchRecord] = []
     for bench in selected:
         system = bench.program.system  # build outside the timed region
         for label in labels:
-            measured = measure_system(
-                system, options_for(label, seed=seed), repeats=repeats
-            )
+            options = options_for(label, seed=seed)
+            sink = None
+            if trace_dir is not None:
+                from ..trace.histogram import HistogramSink
+
+                sink = HistogramSink(label=f"{bench.name}/{label}")
+                options = options.replace(sink=sink)
+            measured = measure_system(system, options, repeats=repeats)
+            if sink is not None:
+                telemetry.append((bench.name, label, sink))
             records.append(
                 BenchRecord(
                     benchmark=bench.name,
@@ -178,12 +197,59 @@ def run_bench(
                     f"work={measured.counters['work']:>9} "
                     f"median={measured.median_seconds * 1000:8.1f}ms"
                 )
-    return BenchReport(
+    report = BenchReport(
         suite=suite_name,
         seed=seed,
         repeats=repeats,
         experiments=labels,
         records=records,
+    )
+    if trace_dir is not None:
+        _write_trace_outputs(report, telemetry, trace_dir)
+    return report
+
+
+def _write_trace_outputs(report: BenchReport, telemetry: List[tuple],
+                         trace_dir: str) -> None:
+    """Write the --trace artifacts: telemetry summary + Chrome spans."""
+    import json
+
+    from ..trace.chrome import chrome_document, spans_to_chrome, write_chrome
+
+    os.makedirs(trace_dir, exist_ok=True)
+    summary = {
+        "suite": report.suite,
+        "seed": report.seed,
+        "repeats": report.repeats,
+        "runs": [
+            {"benchmark": name, "experiment": label,
+             "telemetry": sink.summary()}
+            for name, label, sink in telemetry
+        ],
+    }
+    summary_path = os.path.join(trace_dir, "trace_summary.json")
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    all_spans = [
+        span for _, _, sink in telemetry for span in sink.spans
+    ]
+    origin = min((span[1] for span in all_spans), default=0.0)
+    events: List[dict] = []
+    for tid, (name, label, sink) in enumerate(telemetry, start=1):
+        events.extend(spans_to_chrome(
+            sink.spans,
+            pid=1,
+            tid=tid,
+            process_name=f"repro.bench suite={report.suite}",
+            thread_name=f"{name} {label}",
+            time_origin=origin,
+            args={"benchmark": name, "experiment": label},
+        ))
+    write_chrome(
+        chrome_document(events, {"suite": report.suite,
+                                 "seed": report.seed}),
+        os.path.join(trace_dir, "trace_spans.json"),
     )
 
 

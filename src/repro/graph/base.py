@@ -17,10 +17,21 @@ worklist, which keeps the closure incremental and makes the Work metric
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..constraints.expressions import Term
 from .cycles import SearchMode, find_chain_path
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace ← graph)
+    from ..trace.sinks import TraceSink
 from .order import VariableOrder
 from .stats import SolverStats
 from .unionfind import UnionFind
@@ -50,7 +61,7 @@ class ConstraintGraphBase:
         online_cycles: bool = False,
         search_mode: SearchMode = SearchMode.DECREASING,
         max_search_visits: Optional[int] = None,
-        trace: Optional[Callable[[str, dict], None]] = None,
+        sink: Optional["TraceSink"] = None,
     ) -> None:
         self.num_vars = num_vars
         self.order = order
@@ -59,7 +70,7 @@ class ConstraintGraphBase:
         self.online_cycles = online_cycles
         self.search_mode = search_mode
         self.max_search_visits = max_search_visits
-        self.trace = trace
+        self.sink = sink
         self.unionfind = UnionFind(num_vars)
         # Hot-path bindings: `find` and `rank` are called several times
         # per worklist operation, so shadow the convenience methods below
@@ -144,10 +155,8 @@ class ConstraintGraphBase:
                 nodes.append(node)
         witness = min(nodes, key=self.rank)
         self.stats.cycles_found += 1
-        if self.trace is not None and len(nodes) > 1:
-            self.trace(
-                "collapse", {"witness": witness, "members": tuple(nodes)}
-            )
+        if self.sink is not None and len(nodes) > 1:
+            self.sink.collapse(witness, tuple(nodes))
         for node in nodes:
             if node != witness:
                 self._absorb(node, witness)
@@ -214,6 +223,7 @@ class ConstraintGraphBase:
             mode,
             self.stats,
             self.max_search_visits,
+            self.sink,
         )
         if path is None:
             return False

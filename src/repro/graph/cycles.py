@@ -17,9 +17,20 @@ as :data:`SearchMode.INCREASING` for the ablation benchmark.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from .stats import SolverStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace ← graph)
+    from ..trace.sinks import TraceSink
 
 
 class SearchMode(enum.Enum):
@@ -40,6 +51,7 @@ def find_chain_path(
     mode: SearchMode,
     stats: SolverStats,
     max_visits: Optional[int] = None,
+    sink: Optional["TraceSink"] = None,
 ) -> Optional[List[int]]:
     """Search for a chain from ``start`` to ``target``.
 
@@ -49,10 +61,20 @@ def find_chain_path(
     according to ``mode``.  Returns the path ``[start, ..., target]``
     (representatives, each vertex once) or ``None`` when no chain was
     found within the optional visit budget.
+
+    When a trace ``sink`` is attached the search reports
+    ``search.start``, one ``search.visit`` per popped node, and a
+    closing ``search.end`` carrying the visit count and (on a hit) the
+    cycle length; with ``sink=None`` the instrumentation is a local
+    ``None`` check per visit.
     """
     stats.cycle_searches += 1
+    if sink is not None:
+        sink.search_start(start, target)
     if start == target:
         # A self-constraint; nothing to collapse beyond the vertex itself.
+        if sink is not None:
+            sink.search_end(True, 0, 1)
         return [start]
     decreasing = mode is SearchMode.DECREASING
     visited: Set[int] = {start}
@@ -65,6 +87,8 @@ def find_chain_path(
     while stack:
         current = stack_pop()
         visits += 1
+        if sink is not None:
+            sink.search_visit(current)
         if max_visits is not None and visits > max_visits:
             break
         current_rank = rank(current)
@@ -83,9 +107,14 @@ def find_chain_path(
             parent[neighbour] = current
             if neighbour == target:
                 stats.cycle_search_visits += visits
-                return _reconstruct(parent, start, target)
+                path = _reconstruct(parent, start, target)
+                if sink is not None:
+                    sink.search_end(True, visits, len(path))
+                return path
             stack_append(neighbour)
     stats.cycle_search_visits += visits
+    if sink is not None:
+        sink.search_end(False, visits, 0)
     return None
 
 

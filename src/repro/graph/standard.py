@@ -35,6 +35,7 @@ class StandardGraph(ConstraintGraphBase):
         """Process the atomic constraint ``X <= Y`` (a successor edge)."""
         stats = self.stats
         stats.work += 1
+        sink = self.sink
         parent = self._uf_parent
         find = self.find
         if parent[left] != left:
@@ -43,10 +44,14 @@ class StandardGraph(ConstraintGraphBase):
             right = find(right)
         if left == right:
             stats.self_edges += 1
+            if sink is not None:
+                sink.edge("vv", left, right, "self")
             return
         bucket = self.succ_vars[left]
         if right in bucket:
             stats.redundant += 1
+            if sink is not None:
+                sink.edge("vv", left, right, "redundant")
             return
         if self.online_cycles:
             # Search for a successor chain right -> ... -> left; together
@@ -60,9 +65,13 @@ class StandardGraph(ConstraintGraphBase):
                 left = find(left)
                 right = find(right)
                 if left == right:
+                    if sink is not None:
+                        sink.edge("vv", left, right, "cycle")
                     return
                 bucket = self.succ_vars[left]
         bucket.add(right)
+        if sink is not None:
+            sink.edge("vv", left, right, "added")
         emit = self.emit
         for term in self.sources[left]:
             emit((OP_SOURCE, term, right))
@@ -71,6 +80,7 @@ class StandardGraph(ConstraintGraphBase):
         """Process ``c(...) <= X``: record and propagate forward."""
         stats = self.stats
         stats.work += 1
+        trace_sink = self.sink
         if self._uf_parent[var_index] != var_index:
             var_index = self.find(var_index)
         bucket = self.sources[var_index]
@@ -80,7 +90,11 @@ class StandardGraph(ConstraintGraphBase):
         bucket.add(term)
         if len(bucket) == size:
             stats.redundant += 1
+            if trace_sink is not None:
+                trace_sink.edge("sv", term, var_index, "redundant")
             return
+        if trace_sink is not None:
+            trace_sink.edge("sv", term, var_index, "added")
         emit = self.emit
         for succ in self.succ_vars[var_index]:
             emit((OP_SOURCE, term, succ))
@@ -91,6 +105,7 @@ class StandardGraph(ConstraintGraphBase):
         """Process ``X <= c(...)``: record and resolve against sources."""
         stats = self.stats
         stats.work += 1
+        trace_sink = self.sink
         if self._uf_parent[var_index] != var_index:
             var_index = self.find(var_index)
         bucket = self.sinks[var_index]
@@ -98,7 +113,11 @@ class StandardGraph(ConstraintGraphBase):
         bucket.add(term)
         if len(bucket) == size:
             stats.redundant += 1
+            if trace_sink is not None:
+                trace_sink.edge("vs", var_index, term, "redundant")
             return
+        if trace_sink is not None:
+            trace_sink.edge("vs", var_index, term, "added")
         emit = self.emit
         for source in self.sources[var_index]:
             emit((OP_RESOLVE, source, term))

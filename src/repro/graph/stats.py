@@ -1,15 +1,22 @@
 """Counters reported by the solver.
 
-``work`` is the paper's Work column: the total number of *attempted*
-atomic edge additions, including redundant re-additions of edges already
-present (Tables 2 and 3 and all of Section 5 are stated in this
-quantity).  The cycle-search counters back Theorem 5.2's claim that the
-partial search visits a small constant number of nodes on average.
+``work`` is the paper's **Work** column (Tables 2 and 3): the total
+number of *attempted* atomic edge additions, including redundant
+re-additions of edges already present (all of Section 5 is stated in
+this quantity).  The other reported columns map onto this container as
+
+* **Edges** (Tables 2 and 3) — :attr:`final_edges`,
+* **s** (Tables 2 and 3, the time column) — :attr:`total_seconds`,
+* **Elim** (Table 3) — :attr:`vars_eliminated`.
+
+The cycle-search counters back Theorem 5.2's claim that the partial
+search visits a small constant number of nodes on average
+(:attr:`mean_search_visits` ≈ 2.2).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict
 
 
@@ -22,7 +29,8 @@ class SolverStats:
     instance-dict path.
     """
 
-    #: attempted atomic edge additions (incl. redundant); the Work metric
+    #: attempted atomic edge additions (incl. redundant); the Work
+    #: column of Tables 2 and 3
     work: int = 0
     #: additions that found the edge already present
     redundant: int = 0
@@ -37,7 +45,8 @@ class SolverStats:
     cycle_searches: int = 0
     cycle_search_visits: int = 0
     cycles_found: int = 0
-    #: variables eliminated by collapsing (forwarded into a witness)
+    #: variables eliminated by collapsing (forwarded into a witness);
+    #: the Elim column of Table 3
     vars_eliminated: int = 0
     #: full offline SCC sweeps performed (periodic policy only)
     periodic_sweeps: int = 0
@@ -58,7 +67,8 @@ class SolverStats:
 
     @property
     def final_edges(self) -> int:
-        """Total distinct edges in the final graph (paper's Edges column)."""
+        """Total distinct edges in the final graph (the Edges column of
+        Tables 2 and 3)."""
         return (
             self.final_var_var_edges
             + self.final_source_edges
@@ -67,7 +77,8 @@ class SolverStats:
 
     @property
     def total_seconds(self) -> float:
-        """Closure plus least-solution time (the paper's IF convention)."""
+        """Closure plus least-solution time — the ``s`` (time) column of
+        Tables 2 and 3 (the paper's IF convention)."""
         return self.closure_seconds + self.least_solution_seconds
 
     @property
@@ -77,8 +88,36 @@ class SolverStats:
             return 0.0
         return self.cycle_search_visits / self.cycle_searches
 
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of partial searches that found a cycle.
+
+        This is the per-*search* hit rate, observable from one run's
+        counters alone.  It is distinct from Figure 11's per-*variable*
+        detection fraction (variables eliminated online over variables
+        in final-graph SCCs), which needs the final SCC denominator —
+        see :func:`repro.experiments.figures.figure11` and the
+        ``python -m repro.trace`` report for that quantity.
+        """
+        if self.cycle_searches == 0:
+            return 0.0
+        return self.cycles_found / self.cycle_searches
+
+    #: ``as_dict`` keys that are derived properties, not stored fields.
+    DERIVED_KEYS = (
+        "final_edges",
+        "total_seconds",
+        "mean_search_visits",
+        "detection_rate",
+    )
+
     def as_dict(self) -> Dict[str, float]:
-        """Flat dictionary view used by the experiment report writers."""
+        """Flat dictionary view used by the experiment report writers.
+
+        Contains every stored counter plus the derived properties named
+        in :data:`DERIVED_KEYS`; :meth:`from_dict` inverts it exactly
+        (derived keys are recomputed, so the pair round-trips).
+        """
         return {
             "work": self.work,
             "redundant": self.redundant,
@@ -98,4 +137,24 @@ class SolverStats:
             "least_solution_seconds": self.least_solution_seconds,
             "total_seconds": self.total_seconds,
             "mean_search_visits": self.mean_search_visits,
+            "detection_rate": self.detection_rate,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "SolverStats":
+        """Rebuild stats from :meth:`as_dict` output.
+
+        Derived keys are ignored (they are recomputed on access), and
+        unknown keys raise so schema drift fails loudly.
+        """
+        field_names = {f.name for f in fields(cls)}
+        unknown = set(payload) - field_names - set(cls.DERIVED_KEYS)
+        if unknown:
+            raise KeyError(
+                f"unknown SolverStats keys: {sorted(unknown)}"
+            )
+        stats = cls()
+        for name in field_names:
+            if name in payload:
+                setattr(stats, name, payload[name])
+        return stats

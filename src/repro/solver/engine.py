@@ -29,6 +29,7 @@ from ..graph.inductive import InductiveGraph
 from ..graph.order import VariableOrder
 from ..graph.standard import StandardGraph
 from ..graph.stats import SolverStats
+from ..trace.sinks import LegacyCallbackSink, combine
 from .options import CyclePolicy, GraphForm, SolverOptions
 from .solution import Solution
 
@@ -54,6 +55,13 @@ class SolverEngine:
         self.stats = SolverStats()
         self.diagnostics: List[ConstraintDiagnostic] = []
         self.pending: Deque[Op] = deque()
+        # The effective sink: the modern event sink, the legacy trace
+        # callable adapted onto the sink API, both (teed), or None.
+        self.sink = combine(
+            options.sink,
+            LegacyCallbackSink(options.trace)
+            if options.trace is not None else None,
+        )
         order = VariableOrder(options.order_spec(), system.num_vars)
         graph_class = (
             StandardGraph
@@ -68,7 +76,7 @@ class SolverEngine:
             online_cycles=options.cycles is CyclePolicy.ONLINE,
             search_mode=options.search_mode,
             max_search_visits=options.max_search_visits,
-            trace=options.trace,
+            sink=self.sink,
         )
         self.record_var_edges = options.record_var_edges
         # Recorded var-var constraints are interned as packed integer
@@ -86,19 +94,31 @@ class SolverEngine:
     # ------------------------------------------------------------------
     def run(self) -> Solution:
         """Close the graph and compute the least solution."""
+        sink = self.sink
         started = time.perf_counter()
+        if sink is not None:
+            sink.phase_begin("closure")
         append = self.pending.append
         for left, right in self.system.constraints:
             append((OP_RESOLVE, left, right))
         self._drain()
         self.stats.closure_seconds = time.perf_counter() - started
+        if sink is not None:
+            sink.phase_end("closure")
+            sink.phase_begin("finalize")
         self.graph.finalize_statistics()
+        if sink is not None:
+            sink.phase_end("finalize")
         if self.options.strict and self.diagnostics:
             solution = self._make_solution({})
             solution.raise_on_errors()
         started = time.perf_counter()
+        if sink is not None:
+            sink.phase_begin("least-solution")
         least = self._least_solution()
         self.stats.least_solution_seconds = time.perf_counter() - started
+        if sink is not None:
+            sink.phase_end("least-solution")
         return self._make_solution(least)
 
     # ------------------------------------------------------------------
@@ -139,10 +159,8 @@ class SolverEngine:
                         self._since_sweep = 0
                         self.stats.periodic_sweeps += 1
                         eliminated = graph.collapse_all_sccs()
-                        if self.options.trace is not None:
-                            self.options.trace(
-                                "sweep", {"eliminated": eliminated}
-                            )
+                        if self.sink is not None:
+                            self.sink.sweep(eliminated)
             elif tag == OP_SOURCE:
                 add_source(first, second)
             elif tag == OP_SINK:
@@ -153,16 +171,17 @@ class SolverEngine:
     def _resolve(self, left: SetExpression, right: SetExpression) -> None:
         """Apply the resolution rules R and enqueue the atomic results."""
         self.stats.resolutions += 1
+        sink = self.sink
+        if sink is not None:
+            sink.resolve(left, right)
         atoms: List[Tuple[str, object, object]] = []
         before = len(self.diagnostics)
         decompose(left, right, atoms, self.diagnostics)
         new_clashes = len(self.diagnostics) - before
         self.stats.clashes += new_clashes
-        if new_clashes and self.options.trace is not None:
+        if new_clashes and sink is not None:
             for diagnostic in self.diagnostics[before:]:
-                self.options.trace(
-                    "clash", {"diagnostic": diagnostic}
-                )
+                sink.clash(diagnostic)
         append = self.pending.append
         for tag, a, b in atoms:
             if tag == OP_VAR_VAR:

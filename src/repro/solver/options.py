@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..graph.cycles import SearchMode
 from ..graph.order import OrderSpec, RandomOrder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace ← solver)
+    from ..trace.sinks import TraceSink
 
 
 class GraphForm(enum.Enum):
@@ -72,10 +75,17 @@ class SolverOptions:
     periodic_interval: int = 1000
     #: raise InconsistentConstraintError on the first clash
     strict: bool = False
-    #: optional observer called as trace(event, payload) for solver
-    #: events: "collapse" (a cycle was eliminated), "sweep" (a periodic
-    #: SCC pass ran), "clash" (an inconsistency was recorded)
+    #: legacy observer called as trace(event, payload) for the three
+    #: coarse events: "collapse" (a cycle was eliminated), "sweep" (a
+    #: periodic SCC pass ran), "clash" (an inconsistency was recorded).
+    #: New code should attach a :class:`repro.trace.TraceSink` via
+    #: ``sink`` instead; both may be set and both will observe.
     trace: Optional[Callable[[str, dict], None]] = None
+    #: full-fidelity event sink (see :mod:`repro.trace`): edge
+    #: insertions, resolutions, partial cycle searches, collapses,
+    #: phase spans.  None (the default) disables tracing at the cost of
+    #: one attribute check per instrumented operation.
+    sink: Optional["TraceSink"] = None
 
     def order_spec(self) -> OrderSpec:
         return self.order if self.order is not None else RandomOrder(self.seed)

@@ -1,0 +1,92 @@
+"""The solver event vocabulary.
+
+Every observable solver action maps to exactly one :class:`TraceSink`
+method and one canonical event name.  The names below are what appears
+in JSONL logs (the ``ev`` field) and — embedded in ``args`` — in the
+Chrome trace export, so converters can round-trip events losslessly.
+
+Event schema (``args`` keys per event):
+
+===================  ==================================================
+event                args
+===================  ==================================================
+``edge``             ``kind`` ("vv"/"sv"/"vs"), ``src``, ``dst``,
+                     ``outcome`` ("added"/"redundant"/"self"/"cycle")
+``resolve``          ``left``, ``right`` (stringified set expressions)
+``clash``            ``kind``, ``message``
+``search.start``     ``start``, ``target``
+``search.visit``     ``node``
+``search.end``       ``found`` (bool), ``visits``, ``length``
+``collapse``         ``witness``, ``members`` (list of variable ids)
+``sweep``            ``eliminated``
+``phase.begin``      ``name`` ("closure"/"finalize"/"least-solution")
+``phase.end``        ``name``
+===================  ==================================================
+
+``edge`` outcomes follow the Work-metric accounting of
+:class:`repro.graph.stats.SolverStats`: every attempted atomic addition
+emits one event; ``redundant`` and ``self`` mirror the same-named
+counters, and ``cycle`` marks an insertion consumed by an online
+collapse instead of landing in the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+EV_EDGE = "edge"
+EV_RESOLVE = "resolve"
+EV_CLASH = "clash"
+EV_SEARCH_START = "search.start"
+EV_SEARCH_VISIT = "search.visit"
+EV_SEARCH_END = "search.end"
+EV_COLLAPSE = "collapse"
+EV_SWEEP = "sweep"
+EV_PHASE_BEGIN = "phase.begin"
+EV_PHASE_END = "phase.end"
+
+#: Every event name, in documentation order.
+EVENT_NAMES = (
+    EV_EDGE,
+    EV_RESOLVE,
+    EV_CLASH,
+    EV_SEARCH_START,
+    EV_SEARCH_VISIT,
+    EV_SEARCH_END,
+    EV_COLLAPSE,
+    EV_SWEEP,
+    EV_PHASE_BEGIN,
+    EV_PHASE_END,
+)
+
+#: Events that open/close a duration span in the Chrome trace export.
+SPAN_BEGIN_EVENTS = {EV_PHASE_BEGIN: "phase", EV_SEARCH_START: "search"}
+SPAN_END_EVENTS = {EV_PHASE_END: "phase", EV_SEARCH_END: "search"}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded solver event.
+
+    ``ts`` is seconds since the recording sink's epoch
+    (``time.perf_counter`` based, so only differences are meaningful).
+    """
+
+    name: str
+    ts: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_jsonl_obj(self) -> Dict[str, object]:
+        """The flat JSONL representation (``ev``/``ts`` + args)."""
+        obj: Dict[str, object] = {"ev": self.name, "ts": self.ts}
+        obj.update(self.args)
+        return obj
+
+    @classmethod
+    def from_jsonl_obj(cls, obj: Dict[str, object]) -> "TraceEvent":
+        args = {
+            key: value for key, value in obj.items()
+            if key not in ("ev", "ts")
+        }
+        return cls(name=str(obj["ev"]), ts=float(obj["ts"]), args=args)

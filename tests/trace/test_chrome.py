@@ -1,0 +1,136 @@
+"""Chrome trace export: JSONL round-trip, spans, downsampling."""
+
+import json
+
+from repro import ConstraintSystem, Variance
+from repro.graph import CreationOrder
+from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+from repro.trace import (
+    JsonlSink,
+    chrome_document,
+    convert_jsonl,
+    events_from_chrome,
+    events_to_chrome,
+    read_jsonl,
+    spans_to_chrome,
+    write_chrome,
+)
+from repro.trace.events import TraceEvent
+
+
+def record_run(path):
+    system = ConstraintSystem()
+    box = system.constructor("box", (Variance.COVARIANT,))
+    a, b, c = system.fresh_vars(3)
+    system.add(a, b)
+    system.add(b, a)
+    system.add(b, c)
+    system.add(system.term(box, (system.zero,), label="s"), a)
+    sink = JsonlSink(str(path))
+    solve(system, SolverOptions(
+        form=GraphForm.INDUCTIVE, cycles=CyclePolicy.ONLINE,
+        order=CreationOrder(), sink=sink,
+    ))
+    sink.close()
+    return read_jsonl(str(path))
+
+
+class TestRoundTrip:
+    def test_jsonl_to_chrome_and_back_is_lossless(self, tmp_path):
+        events = record_run(tmp_path / "run.jsonl")
+        document = events_to_chrome(events)
+        back = events_from_chrome(document)
+        assert [(e.name, e.args) for e in back] == [
+            (e.name, e.args) for e in events
+        ]
+        # Timestamps survive the µs conversion to float precision.
+        for original, restored in zip(events, back):
+            assert abs(original.ts - restored.ts) < 1e-9
+
+    def test_phase_and_search_events_become_spans(self, tmp_path):
+        events = record_run(tmp_path / "run.jsonl")
+        document = events_to_chrome(events)
+        phases = [
+            entry for entry in document["traceEvents"]
+            if entry.get("ph") in ("B", "E")
+        ]
+        assert phases
+        begins = sum(1 for entry in phases if entry["ph"] == "B")
+        ends = sum(1 for entry in phases if entry["ph"] == "E")
+        assert begins == ends
+        names = {entry["name"] for entry in phases}
+        assert "closure" in names
+        assert "cycle-search" in names
+
+    def test_convert_jsonl_writes_valid_document(self, tmp_path):
+        record_run(tmp_path / "run.jsonl")
+        out = tmp_path / "run.trace.json"
+        returned = convert_jsonl(str(tmp_path / "run.jsonl"), str(out))
+        on_disk = json.loads(out.read_text(encoding="utf-8"))
+        assert on_disk == returned
+        assert on_disk["traceEvents"]
+        assert on_disk["otherData"]["source"] == "repro.trace"
+
+
+class TestDownsampling:
+    def test_max_instants_drops_only_high_frequency(self):
+        events = [
+            TraceEvent("phase.begin", 0.0, {"name": "closure"}),
+            *[
+                TraceEvent("edge", 0.001 * i,
+                           {"kind": "vv", "src": i, "dst": i + 1,
+                            "outcome": "added"})
+                for i in range(10)
+            ],
+            TraceEvent("collapse", 0.5, {"witness": 1, "members": [1, 2]}),
+            TraceEvent("phase.end", 1.0, {"name": "closure"}),
+        ]
+        document = events_to_chrome(events, max_instants=3)
+        names = [
+            entry["name"] for entry in document["traceEvents"]
+            if entry.get("ph") != "M"
+        ]
+        assert names.count("edge") == 3
+        # Low-frequency instants and spans are never dropped.
+        assert "collapse" in names
+        assert names.count("closure") == 2
+        assert document["otherData"]["dropped_instants"] == {"edge": 7}
+
+    def test_no_downsampling_by_default(self):
+        events = [
+            TraceEvent("edge", 0.0,
+                       {"kind": "vv", "src": 0, "dst": 1,
+                        "outcome": "added"})
+            for _ in range(5)
+        ]
+        document = events_to_chrome(events)
+        assert "dropped_instants" not in document["otherData"]
+
+
+class TestSpans:
+    def test_spans_to_chrome_rebases_and_labels(self):
+        spans = [("closure", 100.0, 100.5), ("finalize", 100.5, 100.6)]
+        events = spans_to_chrome(
+            spans, tid=3, thread_name="bench IF-Online",
+            args={"benchmark": "bench"},
+        )
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert len(complete) == 2
+        assert complete[0]["ts"] == 0.0
+        assert complete[0]["dur"] == 500_000.0  # 0.5 s in µs
+        assert complete[0]["args"]["benchmark"] == "bench"
+        metadata = [e for e in events if e.get("ph") == "M"]
+        assert {"process_name", "thread_name"} == {
+            e["name"] for e in metadata
+        }
+
+    def test_chrome_document_and_write(self, tmp_path):
+        document = chrome_document(
+            spans_to_chrome([("closure", 0.0, 1.0)]),
+            {"suite": "quick"},
+        )
+        path = tmp_path / "spans.json"
+        write_chrome(document, str(path))
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["otherData"]["suite"] == "quick"
+        assert loaded["displayTimeUnit"] == "ms"

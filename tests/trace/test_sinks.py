@@ -1,0 +1,204 @@
+"""Sink API contracts: null-sink overhead guard, tee, legacy, JSONL."""
+
+import io
+
+import pytest
+
+from repro import ConstraintSystem, Variance
+from repro.bench.measure import counters_of
+from repro.graph import CreationOrder
+from repro.solver import CyclePolicy, GraphForm, SolverOptions, solve
+from repro.trace import (
+    NULL_SINK,
+    CollectorSink,
+    JsonlSink,
+    LegacyCallbackSink,
+    TeeSink,
+    TraceSink,
+    combine,
+    read_jsonl,
+)
+
+
+def build_system(cycle_extra=0):
+    """A small system with a 3-cycle plus some acyclic structure."""
+    system = ConstraintSystem()
+    box = system.constructor("box", (Variance.COVARIANT,))
+    a, b, c, d, e = system.fresh_vars(5)
+    system.add(a, b)
+    system.add(b, c)
+    system.add(c, a)
+    system.add(c, d)
+    system.add(d, e)
+    system.add(system.term(box, (system.zero,), label="s"), a)
+    system.add(e, system.term(box, (system.one,), label="t"))
+    for _ in range(cycle_extra):
+        extra = system.fresh_vars(1)[0]
+        system.add(d, extra)
+    return system
+
+
+def options(sink=None, form=GraphForm.INDUCTIVE,
+            cycles=CyclePolicy.ONLINE, **kw):
+    return SolverOptions(form=form, cycles=cycles, order=CreationOrder(),
+                         sink=sink, **kw)
+
+
+ALL_CONFIGS = [
+    (form, policy)
+    for form in (GraphForm.STANDARD, GraphForm.INDUCTIVE)
+    for policy in (CyclePolicy.NONE, CyclePolicy.ONLINE,
+                   CyclePolicy.ORACLE, CyclePolicy.PERIODIC)
+]
+
+
+class TestOverheadGuard:
+    """Attaching a sink must not change any deterministic counter."""
+
+    @pytest.mark.parametrize(
+        "form,policy", ALL_CONFIGS,
+        ids=[f"{f.value}-{p.value}" for f, p in ALL_CONFIGS],
+    )
+    def test_counters_identical_with_and_without_sink(self, form, policy):
+        system = build_system()
+        untraced = solve(system, options(form=form, cycles=policy))
+        for sink in (NULL_SINK, CollectorSink(),
+                     TeeSink([CollectorSink(), TraceSink()])):
+            traced = solve(
+                system, options(sink=sink, form=form, cycles=policy)
+            )
+            assert counters_of(traced) == counters_of(untraced)
+
+    def test_disabled_tracing_stores_no_sink(self):
+        solution = solve(build_system(), options())
+        assert solution.graph.sink is None
+
+    def test_null_sink_accepts_every_event(self):
+        sink = TraceSink()
+        sink.edge("vv", 0, 1, "added")
+        sink.resolve("l", "r")
+        sink.clash(object())
+        sink.search_start(0, 1)
+        sink.search_visit(0)
+        sink.search_end(True, 2, 3)
+        sink.collapse(0, [0, 1])
+        sink.sweep(2)
+        sink.phase_begin("closure")
+        sink.phase_end("closure")
+        sink.close()
+
+
+class TestEventStream:
+    def test_collector_sees_search_collapse_and_phases(self):
+        sink = CollectorSink()
+        solution = solve(build_system(), options(sink=sink))
+        names = [event.name for event in sink.events]
+        assert "phase.begin" in names and "phase.end" in names
+        assert "collapse" in names
+        # Per-search bookkeeping matches the solver's own counters.
+        stats = solution.stats
+        assert names.count("search.start") == stats.cycle_searches
+        assert names.count("search.visit") == stats.cycle_search_visits
+        assert names.count("search.end") == stats.cycle_searches
+        assert names.count("edge") == stats.work
+        hits = [
+            event for event in sink.events
+            if event.name == "search.end" and event.args["found"]
+        ]
+        assert len(hits) == stats.cycles_found
+
+    def test_edge_outcomes_mirror_work_accounting(self):
+        sink = CollectorSink()
+        solution = solve(build_system(), options(sink=sink))
+        outcomes = {}
+        for event in sink.events:
+            if event.name == "edge":
+                out = event.args["outcome"]
+                outcomes[out] = outcomes.get(out, 0) + 1
+        stats = solution.stats
+        assert outcomes.get("redundant", 0) == stats.redundant
+        assert outcomes.get("self", 0) == stats.self_edges
+
+    def test_collapse_members_include_witness(self):
+        sink = CollectorSink()
+        solve(build_system(), options(sink=sink))
+        collapses = [e for e in sink.events if e.name == "collapse"]
+        assert collapses
+        for event in collapses:
+            assert event.args["witness"] in event.args["members"]
+            assert len(event.args["members"]) > 1
+
+
+class TestTeeAndCombine:
+    def test_tee_fans_out_in_order(self):
+        first, second = CollectorSink(), CollectorSink()
+        solve(build_system(), options(sink=TeeSink([first, second])))
+        assert [e.name for e in first.events] == [
+            e.name for e in second.events
+        ]
+        assert first.events
+
+    def test_combine_degenerate_cases(self):
+        assert combine(None, None) is None
+        only = CollectorSink()
+        assert combine(None, only, None) is only
+        tee = combine(CollectorSink(), CollectorSink())
+        assert isinstance(tee, TeeSink)
+
+
+class TestLegacyCallback:
+    def test_legacy_trace_option_still_observes(self):
+        seen = []
+        solve(
+            build_system(),
+            options().replace(trace=lambda ev, data: seen.append((ev, data))),
+        )
+        kinds = {ev for ev, _ in seen}
+        assert "collapse" in kinds
+        for ev, data in seen:
+            if ev == "collapse":
+                assert isinstance(data["members"], tuple)
+                assert data["witness"] in data["members"]
+
+    def test_legacy_and_sink_both_observe(self):
+        seen = []
+        sink = CollectorSink()
+        solve(
+            build_system(),
+            options(sink=sink).replace(
+                trace=lambda ev, data: seen.append(ev)
+            ),
+        )
+        assert seen.count("collapse") == sum(
+            1 for e in sink.events if e.name == "collapse"
+        )
+
+    def test_legacy_sweep_payload(self):
+        seen = []
+        sink = LegacyCallbackSink(lambda ev, data: seen.append((ev, data)))
+        sink.sweep(7)
+        assert seen == [("sweep", {"eliminated": 7})]
+
+
+class TestJsonl:
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        sink = JsonlSink(path)
+        solve(build_system(), options(sink=sink))
+        sink.close()
+        events = read_jsonl(path)
+        assert events
+        assert events[0].name == "phase.begin"
+        assert {"edge", "collapse", "search.start"} <= {
+            e.name for e in events
+        }
+
+    def test_bad_schema_rejected(self):
+        source = io.StringIO('{"ev": "meta", "schema": 999}\n')
+        with pytest.raises(ValueError, match="schema"):
+            read_jsonl(source)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "x.jsonl"))
+        sink.close()
+        sink.close()
