@@ -12,7 +12,14 @@ A full reproduction of Fähndrich, Foster, Su & Aiken (PLDI 1998):
 * synthetic benchmark workloads (:mod:`repro.workloads`);
 * the analytical random-graph model of Section 5 (:mod:`repro.model`);
 * the experiment harness regenerating every table and figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* a resilience layer — solve budgets, cancellation, checkpoint/resume,
+  graph-invariant audits, and a differential fuzzer
+  (:mod:`repro.resilience`).
+
+Every exception the package raises deliberately derives from
+:class:`ReproError`, so ``except repro.ReproError`` guards a whole
+pipeline.
 """
 
 from .constraints import (
@@ -24,7 +31,9 @@ from .constraints import (
     Variance,
     ZERO,
 )
+from .errors import ReproError
 from .graph import RandomOrder, SearchMode
+from .resilience import CancellationToken, SolveBudget, SolveStatus
 from .solver import (
     CyclePolicy,
     GraphForm,
@@ -36,14 +45,18 @@ from .solver import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
     "ConstraintSystem",
     "Constructor",
     "CyclePolicy",
     "GraphForm",
     "ONE",
     "RandomOrder",
+    "ReproError",
     "SearchMode",
     "Solution",
+    "SolveBudget",
+    "SolveStatus",
     "SolverOptions",
     "Term",
     "Var",

@@ -34,7 +34,13 @@ from .baseline import (
     write_report,
 )
 from .compare import IncomparableReportsError, compare_reports
-from .harness import SMOKE_REPEATS, SMOKE_SUITE, render_report, run_bench
+from .harness import (
+    BenchTimeoutError,
+    SMOKE_REPEATS,
+    SMOKE_SUITE,
+    render_report,
+    run_bench,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +96,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "recorded on different hardware)",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole suite run; a hung or "
+             "regressed solve aborts with a timeout error instead of "
+             "stalling the job (default: no timeout)",
+    )
+    parser.add_argument(
         "--trace", metavar="DIR", default=None,
         help="attach telemetry sinks and write trace_summary.json + "
              "trace_spans.json (Chrome/Perfetto) into DIR; counters "
@@ -131,10 +143,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             repeats=repeats,
             progress=lambda line: print(line, flush=True),
             trace_dir=args.trace,
+            timeout_seconds=args.timeout,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    except BenchTimeoutError as error:
+        print(f"timeout: {error}", file=sys.stderr)
+        return 3
     print()
     print(render_report(report))
     if args.trace:

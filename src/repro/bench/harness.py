@@ -19,10 +19,14 @@ from __future__ import annotations
 
 import os
 import platform
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..errors import ReproError
 from ..experiments.config import EXPERIMENT_LABELS, options_for
+from ..resilience.budget import SolveBudget
+from ..resilience.errors import BudgetExceededError
 from ..workloads import suite
 from .measure import measure_system
 
@@ -32,6 +36,15 @@ SCHEMA_VERSION = 1
 #: The pinned smoke workload: small, seeded, fast enough for CI.
 SMOKE_SUITE = "quick"
 SMOKE_REPEATS = 3
+
+
+class BenchTimeoutError(ReproError):
+    """A harness run exceeded its per-suite wall-clock timeout."""
+
+    def __init__(self, message: str, completed: int = 0) -> None:
+        super().__init__(message)
+        #: (benchmark, experiment) pairs finished before the timeout
+        self.completed = completed
 
 
 @dataclass
@@ -141,6 +154,7 @@ def run_bench(
     benchmarks: Optional[Iterable[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace_dir: Optional[str] = None,
+    timeout_seconds: Optional[float] = None,
 ) -> BenchReport:
     """Run the harness and return the report.
 
@@ -157,7 +171,21 @@ def run_bench(
     to an untraced run; only wall times carry the (small) observation
     cost, which is why traced reports should not be promoted to timing
     baselines.
+
+    ``timeout_seconds`` bounds the *whole suite run* by wall clock: the
+    remaining allowance is wired into each solve as a
+    :class:`~repro.resilience.budget.SolveBudget` deadline, so even a
+    single hung closure cannot stall the job — it raises
+    :class:`BenchTimeoutError` (as does starting a run after the
+    deadline has passed).  Deterministic counters are unaffected by the
+    budget machinery; wall times carry a small polling cost, so
+    timeout-bounded reports should not be promoted to timing baselines
+    either.
     """
+    deadline = (
+        None if timeout_seconds is None
+        else time.perf_counter() + timeout_seconds
+    )
     labels = list(experiments) if experiments else list(EXPERIMENT_LABELS)
     selected = suite(suite_name)
     if benchmarks is not None:
@@ -174,13 +202,33 @@ def run_bench(
         system = bench.program.system  # build outside the timed region
         for label in labels:
             options = options_for(label, seed=seed)
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise BenchTimeoutError(
+                        f"suite {suite_name!r} exceeded its "
+                        f"{timeout_seconds:.0f}s timeout before "
+                        f"{bench.name}/{label}",
+                        completed=len(records),
+                    )
+                options = options.replace(
+                    budget=SolveBudget(deadline_seconds=remaining)
+                )
             sink = None
             if trace_dir is not None:
                 from ..trace.histogram import HistogramSink
 
                 sink = HistogramSink(label=f"{bench.name}/{label}")
                 options = options.replace(sink=sink)
-            measured = measure_system(system, options, repeats=repeats)
+            try:
+                measured = measure_system(system, options, repeats=repeats)
+            except BudgetExceededError as error:
+                raise BenchTimeoutError(
+                    f"suite {suite_name!r} exceeded its "
+                    f"{timeout_seconds:.0f}s timeout inside "
+                    f"{bench.name}/{label}: {error}",
+                    completed=len(records),
+                ) from error
             if sink is not None:
                 telemetry.append((bench.name, label, sink))
             records.append(

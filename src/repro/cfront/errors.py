@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from ..errors import ReproError
 
-class CFrontError(Exception):
+
+class CFrontError(ReproError):
     """Base class for lexer/parser errors."""
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:

@@ -14,7 +14,9 @@ from .constructors import Constructor, ONE_CONSTRUCTOR, ZERO_CONSTRUCTOR
 from .errors import (
     ConstraintDiagnostic,
     ConstraintError,
+    DepthLimitError,
     InconsistentConstraintError,
+    InvalidSystemError,
     MalformedExpressionError,
     SignatureError,
 )
@@ -38,7 +40,9 @@ __all__ = [
     "ConstraintDiagnostic",
     "ConstraintError",
     "ConstraintSystem",
+    "DepthLimitError",
     "InconsistentConstraintError",
+    "InvalidSystemError",
     "MalformedExpressionError",
     "ONE",
     "ONE_CONSTRUCTOR",

@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ..errors import ReproError
 
-class ConstraintError(Exception):
+
+class ConstraintError(ReproError):
     """Base class for all errors raised by the constraint machinery."""
 
 
@@ -24,6 +26,52 @@ class SignatureError(ConstraintError):
 
 class MalformedExpressionError(ConstraintError):
     """A set expression was built from unsupported pieces."""
+
+
+class InvalidSystemError(ConstraintError):
+    """A constraint system failed solve-time validation.
+
+    Raised by :meth:`repro.constraints.ConstraintSystem.validate` (which
+    the solver engine runs before closure) instead of letting malformed
+    input surface as a raw ``IndexError``/``KeyError`` from deep inside
+    the graph code.
+
+    Attributes:
+        reason: machine-readable tag, e.g. ``"var-out-of-range"``,
+            ``"arity-mismatch"``, ``"signature-conflict"``,
+            ``"not-an-expression"``.
+        constraint_index: position of the offending constraint in
+            :attr:`ConstraintSystem.constraints` (``-1`` when the fault
+            is not tied to one constraint).
+    """
+
+    def __init__(self, reason: str, message: str,
+                 constraint_index: int = -1) -> None:
+        super().__init__(
+            f"{message} (constraint #{constraint_index}, {reason})"
+            if constraint_index >= 0 else f"{message} ({reason})"
+        )
+        self.reason = reason
+        self.constraint_index = constraint_index
+
+
+class DepthLimitError(ConstraintError):
+    """A set expression nests constructors deeper than the solver allows.
+
+    Raised with a clear message by
+    :func:`repro.constraints.resolution.decompose` (and by the iterative
+    expression walkers) instead of letting a pathologically deep term
+    exhaust the Python recursion limit mid-closure.
+    """
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"constructor term nests {depth} levels deep, exceeding the "
+            f"limit of {limit}; raise repro.constraints.resolution."
+            f"MAX_TERM_DEPTH (or pass max_depth) if this is intentional"
+        )
+        self.depth = depth
+        self.limit = limit
 
 
 class InconsistentConstraintError(ConstraintError):

@@ -151,12 +151,17 @@ def variables_of(expr: SetExpression) -> Tuple[Var, ...]:
     """Return the variables occurring in ``expr``, in left-to-right order.
 
     Duplicates are preserved; callers needing a set can wrap the result.
+    Iterative (explicit stack) so pathologically deep terms cannot
+    overflow the Python recursion limit.
     """
-    if isinstance(expr, Var):
-        return (expr,)
-    if isinstance(expr, Term):
-        out = []
-        for arg in expr.args:
-            out.extend(variables_of(arg))
-        return tuple(out)
-    raise MalformedExpressionError(f"not a set expression: {expr!r}")
+    out = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            out.append(node)
+        elif isinstance(node, Term):
+            stack.extend(reversed(node.args))
+        else:
+            raise MalformedExpressionError(f"not a set expression: {node!r}")
+    return tuple(out)

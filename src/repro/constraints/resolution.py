@@ -22,10 +22,25 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from typing import Optional
+
 from .constructors import ONE_CONSTRUCTOR, ZERO_CONSTRUCTOR
-from .errors import ConstraintDiagnostic, MalformedExpressionError
+from .errors import (
+    ConstraintDiagnostic,
+    DepthLimitError,
+    MalformedExpressionError,
+)
 from .expressions import SetExpression, Term, Var
 from .variance import Variance
+
+#: Default bound on constructor nesting during decomposition.  Deeper
+#: terms raise :class:`~repro.constraints.errors.DepthLimitError` with a
+#: clear message instead of (via the recursive helpers that surround the
+#: solver: hashing, printing, validation) flirting with Python's
+#: recursion limit mid-closure.  Far above anything the workloads
+#: produce; raise it (or pass ``max_depth``) for intentionally deep
+#: systems.
+MAX_TERM_DEPTH = 100_000
 
 #: Tag for an atomic ``X <= Y`` constraint: ``(VAR_VAR, X, Y)``.
 VAR_VAR = "vv"
@@ -43,12 +58,15 @@ def decompose(
     right: SetExpression,
     atoms: List[Atomic],
     diagnostics: List[ConstraintDiagnostic],
+    max_depth: Optional[int] = None,
 ) -> None:
     """Rewrite ``left <= right`` into atomic constraints.
 
     Appends atomic constraints to ``atoms`` and inconsistency reports to
     ``diagnostics``.  Uses an explicit work stack so deeply nested terms
-    cannot overflow the Python recursion limit.
+    cannot overflow the Python recursion limit; nesting beyond
+    ``max_depth`` (default :data:`MAX_TERM_DEPTH`) raises
+    :class:`~repro.constraints.errors.DepthLimitError`.
 
     This function sits on the solver's hot path (one call per ``rr``
     worklist operation), so the type dispatch is written with local
@@ -57,11 +75,14 @@ def decompose(
     """
     append = atoms.append
     covariant = Variance.COVARIANT
-    stack = [(left, right)]
+    limit = MAX_TERM_DEPTH if max_depth is None else max_depth
+    stack = [(left, right, 0)]
     push = stack.append
     pop = stack.pop
     while stack:
-        l, r = pop()
+        l, r, depth = pop()
+        if depth > limit:
+            raise DepthLimitError(depth, limit)
         l_is_term = isinstance(l, Term)
         if l_is_term and l.constructor is ZERO_CONSTRUCTOR:
             continue  # 0 <= se : trivially true
@@ -84,13 +105,14 @@ def decompose(
             l_ctor = l.constructor
             r_ctor = r.constructor
             if l_ctor is r_ctor or l_ctor == r_ctor:
+                child_depth = depth + 1
                 for variance, l_arg, r_arg in zip(
                     l_ctor.signature, l.args, r.args
                 ):
                     if variance is covariant:
-                        push((l_arg, r_arg))
+                        push((l_arg, r_arg, child_depth))
                     else:
-                        push((r_arg, l_arg))
+                        push((r_arg, l_arg, child_depth))
             else:
                 diagnostics.append(_clash(l, r))
         else:

@@ -13,7 +13,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .constructors import Constructor, ONE_CONSTRUCTOR, ZERO_CONSTRUCTOR
-from .errors import MalformedExpressionError, SignatureError
+from .errors import (
+    InvalidSystemError,
+    MalformedExpressionError,
+    SignatureError,
+)
 from .expressions import ONE, ZERO, SetExpression, Term, Var
 from .variance import Variance
 
@@ -141,15 +145,80 @@ class ConstraintSystem:
     # Validation helpers
     # ------------------------------------------------------------------
     def _check_expr(self, expr: SetExpression) -> None:
-        if isinstance(expr, Var):
-            if (expr.index >= len(self._vars)
-                    or self._vars[expr.index] is not expr):
+        # Iterative (explicit stack): expressions can nest thousands of
+        # constructors deep, and the recursion limit must not decide
+        # whether an `add` succeeds.
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                if (node.index >= len(self._vars)
+                        or self._vars[node.index] is not node):
+                    raise MalformedExpressionError(
+                        f"variable {node!r} does not belong to this system"
+                    )
+            elif isinstance(node, Term):
+                stack.extend(node.args)
+            else:
                 raise MalformedExpressionError(
-                    f"variable {expr!r} does not belong to this system"
+                    f"not a set expression: {node!r}"
                 )
-            return
-        if isinstance(expr, Term):
-            for arg in expr.args:
-                self._check_expr(arg)
-            return
-        raise MalformedExpressionError(f"not a set expression: {expr!r}")
+
+    def validate(self) -> None:
+        """Re-validate every recorded constraint before solving.
+
+        :meth:`add` already rejects foreign expressions, but constraints
+        can reach a solver through other routes (deserialized systems,
+        direct ``_constraints`` manipulation, hand-built ``Var`` objects
+        with stale indices).  The solver engine calls this before
+        closure so malformed input fails with a structured
+        :class:`~repro.constraints.errors.InvalidSystemError` naming the
+        offending constraint instead of leaking an ``IndexError`` or
+        ``KeyError`` from deep inside the graph code.
+
+        Checks, per constraint side: every node is a ``Var`` or
+        ``Term``; variable indices lie in ``[0, num_vars)``; term
+        argument counts match their constructor's arity; and no
+        constructor name is used with a signature different from the
+        registered one (arity/variance conflicts).
+        """
+        num_vars = len(self._vars)
+        registered = self._constructors
+        for position, (left, right) in enumerate(self._constraints):
+            stack = [left, right]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, Var):
+                    if not 0 <= node.index < num_vars:
+                        raise InvalidSystemError(
+                            "var-out-of-range",
+                            f"variable {node!r} has index {node.index} "
+                            f"outside [0, {num_vars})",
+                            position,
+                        )
+                elif isinstance(node, Term):
+                    ctor = node.constructor
+                    if len(node.args) != ctor.arity:
+                        raise InvalidSystemError(
+                            "arity-mismatch",
+                            f"term {node!r} carries {len(node.args)} "
+                            f"argument(s) for {ctor.arity}-ary "
+                            f"constructor {ctor.name!r}",
+                            position,
+                        )
+                    known = registered.get(ctor.name)
+                    if known is not None and known.signature != ctor.signature:
+                        raise InvalidSystemError(
+                            "signature-conflict",
+                            f"constructor {ctor.name!r} used with "
+                            f"signature {ctor.signature}, but registered "
+                            f"with {known.signature}",
+                            position,
+                        )
+                    stack.extend(node.args)
+                else:
+                    raise InvalidSystemError(
+                        "not-an-expression",
+                        f"constraint contains non-expression {node!r}",
+                        position,
+                    )

@@ -1,0 +1,18 @@
+"""The root of the package's exception hierarchy.
+
+Every error deliberately raised by this package — frontend diagnostics,
+constraint-system errors, and the resilience layer's budget / checkpoint
+/ audit failures — derives from :class:`ReproError`, so embedding
+callers can guard a whole solve pipeline with one ``except ReproError``
+without also swallowing genuine programming errors (``TypeError``,
+``AttributeError``, ...).
+
+This module must stay import-free of every other ``repro`` module: it is
+imported by the leaf ``errors`` modules of the subpackages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""

@@ -88,6 +88,37 @@ class ConstraintGraphBase:
         self.pred_vars: List[Set[int]] = [set() for _ in range(num_vars)]
         self.sources: List[Set[Term]] = [set() for _ in range(num_vars)]
         self.sinks: List[Set[Term]] = [set() for _ in range(num_vars)]
+        # Insertion journals (checkpoint support): parallel per-variable
+        # lists recording each bucket's successful insertions in order.
+        # A set's iteration order — which the solver's Work counts depend
+        # on — is a function of its insertion sequence, so reproducing a
+        # set exactly after a checkpoint requires replaying that
+        # sequence, not just the final contents.  ``None`` (the default)
+        # disables journaling; the cost when enabled is one list append
+        # per *stored* edge, nothing per redundant attempt.
+        self._journal_succ: Optional[List[List[int]]] = None
+        self._journal_pred: Optional[List[List[int]]] = None
+        self._journal_sources: Optional[List[List[Term]]] = None
+        self._journal_sinks: Optional[List[List[Term]]] = None
+
+    def enable_journal(self) -> None:
+        """Start recording bucket insertion order (for checkpoints).
+
+        Must be called before any constraint is processed — journals
+        begun mid-run would miss earlier insertions.
+        """
+        if self._journal_succ is not None:
+            return
+        if any(self.succ_vars) or any(self.pred_vars) \
+                or any(self.sources) or any(self.sinks):
+            raise ValueError(
+                "enable_journal must be called on a pristine graph"
+            )
+        count = self.num_vars
+        self._journal_succ = [[] for _ in range(count)]
+        self._journal_pred = [[] for _ in range(count)]
+        self._journal_sources = [[] for _ in range(count)]
+        self._journal_sinks = [[] for _ in range(count)]
 
     # ------------------------------------------------------------------
     # Small helpers
@@ -112,6 +143,15 @@ class ConstraintGraphBase:
         ):
             while len(collection) < num_vars:
                 collection.append(set())
+        for journal in (
+            self._journal_succ,
+            self._journal_pred,
+            self._journal_sources,
+            self._journal_sinks,
+        ):
+            if journal is not None:
+                while len(journal) < num_vars:
+                    journal.append([])
         self.num_vars = num_vars
 
     def alias(self, var_index: int, witness_index: int) -> None:
@@ -179,6 +219,11 @@ class ConstraintGraphBase:
         self.sinks[absorbed] = set()
         self.succ_vars[absorbed] = set()
         self.pred_vars[absorbed] = set()
+        if self._journal_succ is not None:
+            self._journal_succ[absorbed] = []
+            self._journal_pred[absorbed] = []
+            self._journal_sources[absorbed] = []
+            self._journal_sinks[absorbed] = []
 
     def collapse_all_sccs(self) -> int:
         """Collapse every non-trivial SCC of the current var-var graph.

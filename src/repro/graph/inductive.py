@@ -84,6 +84,8 @@ class InductiveGraph(ConstraintGraphBase):
                         sink.edge("vv", left, right, "cycle")
                     return
             bucket.add(right)
+            if self._journal_succ is not None:
+                self._journal_succ[left].append(right)
             if sink is not None:
                 sink.edge("vv", left, right, "added")
             emit = self.emit
@@ -109,6 +111,8 @@ class InductiveGraph(ConstraintGraphBase):
                         sink.edge("vv", left, right, "cycle")
                     return
             bucket.add(left)
+            if self._journal_pred is not None:
+                self._journal_pred[right].append(left)
             if sink is not None:
                 sink.edge("vv", left, right, "added")
             emit = self.emit
@@ -133,6 +137,8 @@ class InductiveGraph(ConstraintGraphBase):
             if trace_sink is not None:
                 trace_sink.edge("sv", term, var_index, "redundant")
             return
+        if self._journal_sources is not None:
+            self._journal_sources[var_index].append(term)
         if trace_sink is not None:
             trace_sink.edge("sv", term, var_index, "added")
         emit = self.emit
@@ -156,6 +162,8 @@ class InductiveGraph(ConstraintGraphBase):
             if trace_sink is not None:
                 trace_sink.edge("vs", var_index, term, "redundant")
             return
+        if self._journal_sinks is not None:
+            self._journal_sinks[var_index].append(term)
         if trace_sink is not None:
             trace_sink.edge("vs", var_index, term, "added")
         emit = self.emit

@@ -70,6 +70,8 @@ class StandardGraph(ConstraintGraphBase):
                     return
                 bucket = self.succ_vars[left]
         bucket.add(right)
+        if self._journal_succ is not None:
+            self._journal_succ[left].append(right)
         if sink is not None:
             sink.edge("vv", left, right, "added")
         emit = self.emit
@@ -93,6 +95,8 @@ class StandardGraph(ConstraintGraphBase):
             if trace_sink is not None:
                 trace_sink.edge("sv", term, var_index, "redundant")
             return
+        if self._journal_sources is not None:
+            self._journal_sources[var_index].append(term)
         if trace_sink is not None:
             trace_sink.edge("sv", term, var_index, "added")
         emit = self.emit
@@ -116,6 +120,8 @@ class StandardGraph(ConstraintGraphBase):
             if trace_sink is not None:
                 trace_sink.edge("vs", var_index, term, "redundant")
             return
+        if self._journal_sinks is not None:
+            self._journal_sinks[var_index].append(term)
         if trace_sink is not None:
             trace_sink.edge("vs", var_index, term, "added")
         emit = self.emit

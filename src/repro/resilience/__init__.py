@@ -1,0 +1,83 @@
+"""Resilience layer: budgets, cancellation, checkpoints, audits, fuzzing.
+
+This package makes long or adversarial solver runs survivable:
+
+* :mod:`repro.resilience.budget` — :class:`SolveBudget` /
+  :class:`CancellationToken` bounds checked inside the closure loop;
+* :mod:`repro.resilience.checkpoint` — versioned engine snapshots so an
+  interrupted run resumes with identical counters;
+* :mod:`repro.resilience.audit` — structural invariant validation of
+  the constraint graph (inductive-form placement, union-find shape);
+* :mod:`repro.resilience.fuzz` — a differential fuzzer cross-checking
+  all six Table-4 configurations against the reference solver.
+
+``checkpoint`` and ``fuzz`` import the solver package, which itself
+imports this package's budget/audit modules; to keep that dependency
+acyclic they are loaded lazily via module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from .audit import (
+    AuditFailure,
+    AuditPolicy,
+    audit_graph,
+)
+from .budget import (
+    CancellationToken,
+    SolveBudget,
+    SolveStatus,
+    edge_estimate,
+)
+from .errors import (
+    BudgetExceededError,
+    CheckpointError,
+    GraphInvariantError,
+    ResilienceError,
+    SolveCancelledError,
+)
+
+__all__ = [
+    "AuditFailure",
+    "AuditPolicy",
+    "audit_graph",
+    "CancellationToken",
+    "SolveBudget",
+    "SolveStatus",
+    "edge_estimate",
+    "BudgetExceededError",
+    "CheckpointError",
+    "GraphInvariantError",
+    "ResilienceError",
+    "SolveCancelledError",
+    # lazy (solver-dependent):
+    "EngineCheckpoint",
+    "CHECKPOINT_VERSION",
+    "capture",
+    "restore",
+    "run_fuzz",
+    "FuzzDisagreement",
+]
+
+_LAZY = {
+    "EngineCheckpoint": "checkpoint",
+    "CHECKPOINT_VERSION": "checkpoint",
+    "capture": "checkpoint",
+    "restore": "checkpoint",
+    "run_fuzz": "fuzz",
+    "FuzzDisagreement": "fuzz",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

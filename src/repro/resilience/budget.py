@@ -1,0 +1,155 @@
+"""Work budgets, cooperative cancellation, and solve statuses.
+
+The incremental-cycle-detection literature treats *bounded work per
+insertion* as the defining contract of an online algorithm.  This module
+gives our solver the operational counterpart: a :class:`SolveBudget`
+bounds a whole run (work units, wall clock, stored-edge estimate), and a
+:class:`CancellationToken` lets another thread (or a signal handler)
+stop a run cooperatively.  Both are checked by the engine on a
+configurable stride (``SolverOptions.check_stride``) inside the worklist
+drain, so a pathological or adversarial system can no longer spin the
+closure loop forever.
+
+On exhaustion the engine either raises
+:class:`~repro.resilience.errors.BudgetExceededError` /
+:class:`~repro.resilience.errors.SolveCancelledError`, or — under
+``SolverOptions(on_budget="partial")`` — returns a partial
+:class:`~repro.solver.Solution` whose :attr:`~repro.solver.Solution.status`
+is :data:`SolveStatus.BUDGET_EXHAUSTED` or :data:`SolveStatus.CANCELLED`.
+Partial least-solution queries are **sound lower bounds**: every term
+reported genuinely belongs to the least solution (closure only ever adds
+facts implied by the input), but terms may be missing.
+
+This module deliberately imports nothing from the solver packages, so
+``repro.solver`` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SolveStatus(enum.Enum):
+    """How a solver run ended."""
+
+    #: closure ran to a fixed point; the least solution is exact
+    COMPLETE = "complete"
+    #: closure ran to a fixed point but inconsistencies were recorded
+    INCONSISTENT = "inconsistent"
+    #: a :class:`SolveBudget` limit stopped the run; results are
+    #: sound lower bounds
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    #: a :class:`CancellationToken` stopped the run; results are
+    #: sound lower bounds
+    CANCELLED = "cancelled"
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether the graph may not be fully closed."""
+        return self in (SolveStatus.BUDGET_EXHAUSTED, SolveStatus.CANCELLED)
+
+
+def edge_estimate(stats) -> int:
+    """Upper estimate of edges stored so far, from the run counters.
+
+    Every processed atomic operation that is neither redundant nor a
+    self edge stores (at most) one edge, so ``work - redundant -
+    self_edges`` bounds the live edge count from above — cycle collapses
+    can only remove edges below the estimate.  Used for
+    :attr:`SolveBudget.max_edges` because an exact count would require
+    walking every adjacency set at every check.
+    """
+    return stats.work - stats.redundant - stats.self_edges
+
+
+@dataclass(frozen=True)
+class SolveBudget:
+    """Bounds on one solver run; ``None`` fields are unbounded.
+
+    Every limit is measured *per run segment* — from the moment closure
+    starts — so a resumed or checkpoint-restored engine gets a fresh
+    allowance each time.  (Cumulative limits would make ``resume()``
+    under an exhausted budget a no-op forever; segment limits keep every
+    individual drain bounded while letting the caller decide how many
+    segments to spend.)
+
+    Attributes:
+        max_work: cap on work units processed this segment
+            (``SolverStats.work`` is the paper's cost metric).
+        deadline_seconds: wall-clock allowance for the segment.
+        max_edges: cap on the growth of the stored-edge estimate
+            (:func:`edge_estimate`) this segment — a cheap memory proxy:
+            every stored edge costs a set entry, so bounding edges
+            bounds the graph's memory growth.
+    """
+
+    max_work: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    max_edges: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_work", "deadline_seconds", "max_edges"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"SolveBudget.{name} must be positive, "
+                                 f"got {value!r}")
+
+    @property
+    def bounded(self) -> bool:
+        return (self.max_work is not None
+                or self.deadline_seconds is not None
+                or self.max_edges is not None)
+
+    def exceeded(self, work: int, edges: int, elapsed_seconds: float
+                 ) -> Optional[tuple]:
+        """Return ``(reason, limit, value)`` if any limit is hit.
+
+        ``work`` and ``edges`` are the quantities accumulated *this
+        segment* (the engine subtracts the counters it restored or
+        resumed from); ``elapsed_seconds`` is measured from the
+        segment's closure start.
+        """
+        if self.max_work is not None and work >= self.max_work:
+            return ("work", self.max_work, work)
+        if (self.deadline_seconds is not None
+                and elapsed_seconds >= self.deadline_seconds):
+            return ("deadline", self.deadline_seconds, elapsed_seconds)
+        if self.max_edges is not None and edges >= self.max_edges:
+            return ("edges", self.max_edges, edges)
+        return None
+
+
+class CancellationToken:
+    """Cooperative, thread-safe cancellation flag.
+
+    Hand the same token to ``SolverOptions.cancellation`` and to
+    whatever may want to stop the run (another thread, a signal
+    handler, a timeout watchdog); call :meth:`cancel` there.  The engine
+    polls :attr:`cancelled` on its check stride and stops at the next
+    operation boundary, so the graph is always left in a consistent
+    state.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, safe from any thread)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def reset(self) -> None:
+        """Clear the flag so the token can be reused for another run."""
+        self._event.clear()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"CancellationToken({state})"

@@ -1,0 +1,81 @@
+"""Structured errors raised by the resilience layer.
+
+All derive from :class:`repro.errors.ReproError` so a caller can guard a
+whole solve pipeline with one root exception type.  This module imports
+nothing from the solver packages; the solver engine imports *it*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .audit import AuditFailure
+
+
+class ResilienceError(ReproError):
+    """Base class for budget / cancellation / checkpoint / audit errors."""
+
+
+class BudgetExceededError(ResilienceError):
+    """A :class:`~repro.resilience.budget.SolveBudget` limit was hit.
+
+    Attributes:
+        reason: which limit tripped — ``"work"``, ``"deadline"``, or
+            ``"edges"``.
+        limit: the configured bound.
+        value: the observed quantity at the check.
+        work_done: total work units processed when the run stopped.
+    """
+
+    def __init__(self, reason: str, limit: float, value: float,
+                 work_done: int) -> None:
+        super().__init__(
+            f"solve budget exhausted: {reason} limit {limit} reached "
+            f"(observed {value}, work units processed {work_done})"
+        )
+        self.reason = reason
+        self.limit = limit
+        self.value = value
+        self.work_done = work_done
+
+
+class SolveCancelledError(ResilienceError):
+    """The run's :class:`~repro.resilience.budget.CancellationToken`
+    was cancelled.
+
+    Attributes:
+        work_done: total work units processed when the run stopped.
+    """
+
+    def __init__(self, work_done: int) -> None:
+        super().__init__(
+            f"solve cancelled after {work_done} work units"
+        )
+        self.work_done = work_done
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be captured, decoded, or restored."""
+
+
+class GraphInvariantError(ResilienceError):
+    """The invariant auditor found the solver state corrupted.
+
+    Attributes:
+        failures: every :class:`~repro.resilience.audit.AuditFailure`
+            found by the audit pass that raised.
+    """
+
+    def __init__(self, failures: Sequence["AuditFailure"]) -> None:
+        preview = "; ".join(str(f) for f in list(failures)[:3])
+        more = len(failures) - min(len(failures), 3)
+        if more > 0:
+            preview += f"; ... and {more} more"
+        super().__init__(
+            f"graph invariant audit failed ({len(failures)} "
+            f"failure(s)): {preview}"
+        )
+        self.failures = list(failures)

@@ -13,6 +13,7 @@ Typical use::
 from __future__ import annotations
 
 from ..constraints.system import ConstraintSystem
+from ..resilience.budget import CancellationToken, SolveBudget, SolveStatus
 from .engine import SolverEngine
 from .incremental import IncrementalSolver
 from .options import CyclePolicy, GraphForm, SolverOptions
@@ -33,11 +34,14 @@ def solve(
 
 
 __all__ = [
+    "CancellationToken",
     "CyclePolicy",
     "IncrementalSolver",
     "GraphForm",
     "ReferenceResult",
     "Solution",
+    "SolveBudget",
+    "SolveStatus",
     "SolverEngine",
     "SolverOptions",
     "solve",

@@ -29,6 +29,13 @@ from ..graph.inductive import InductiveGraph
 from ..graph.order import VariableOrder
 from ..graph.standard import StandardGraph
 from ..graph.stats import SolverStats
+from ..resilience.audit import AuditPolicy, audit_graph
+from ..resilience.budget import SolveStatus, edge_estimate
+from ..resilience.errors import (
+    BudgetExceededError,
+    GraphInvariantError,
+    SolveCancelledError,
+)
 from ..trace.sinks import LegacyCallbackSink, combine
 from .options import CyclePolicy, GraphForm, SolverOptions
 from .solution import Solution
@@ -87,6 +94,38 @@ class SolverEngine:
         self._periodic = options.cycles is CyclePolicy.PERIODIC
         self._periodic_interval = max(1, options.periodic_interval)
         self._since_sweep = 0
+        # --- resilience layer -----------------------------------------
+        # All of this is inert (and off the closure hot path: the fast
+        # `_drain` is taken) unless a budget, cancellation token, or
+        # stride audit is configured.
+        if options.on_budget not in ("raise", "partial"):
+            raise ValueError(
+                f"SolverOptions.on_budget must be 'raise' or 'partial', "
+                f"got {options.on_budget!r}"
+            )
+        budget = options.budget
+        self._budget = budget if budget is not None and budget.bounded else None
+        self._cancellation = options.cancellation
+        self._on_budget_partial = options.on_budget == "partial"
+        self._check_stride = max(1, options.check_stride)
+        self._audit_policy = AuditPolicy.parse(options.audit)
+        self._guarded = (
+            self._budget is not None
+            or self._cancellation is not None
+            or self._audit_policy.stride is not None
+        )
+        self._closure_started = 0.0
+        self._segment_work = 0
+        self._segment_edges = 0
+        #: how the run ended so far; partial statuses are set by the
+        #: guarded drain, final statuses by :meth:`_complete`
+        self.status = SolveStatus.COMPLETE
+        # Interruptible runs are the ones that get checkpointed, so they
+        # journal bucket insertion order for exact resume.
+        if (options.checkpointable
+                or self._budget is not None
+                or self._cancellation is not None):
+            self.graph.enable_journal()
         if options.alias_map:
             for var_index, witness_index in options.alias_map.items():
                 self.graph.alias(var_index, witness_index)
@@ -94,21 +133,60 @@ class SolverEngine:
     # ------------------------------------------------------------------
     def run(self) -> Solution:
         """Close the graph and compute the least solution."""
-        sink = self.sink
-        started = time.perf_counter()
-        if sink is not None:
-            sink.phase_begin("closure")
+        if self.options.validate:
+            self.system.validate()
         append = self.pending.append
         for left, right in self.system.constraints:
             append((OP_RESOLVE, left, right))
-        self._drain()
-        self.stats.closure_seconds = time.perf_counter() - started
+        return self._complete()
+
+    def resume(self) -> Solution:
+        """Finish a run from the engine's current state.
+
+        Used after a partial stop (``on_budget="partial"``) or on an
+        engine rebuilt by :func:`repro.resilience.checkpoint.restore`:
+        drains whatever is pending and finalizes.  Budget limits are
+        per segment (see :class:`~repro.resilience.budget.SolveBudget`),
+        so each resume gets a fresh allowance and makes progress.
+        """
+        self.status = SolveStatus.COMPLETE
+        return self._complete()
+
+    def _complete(self) -> Solution:
+        """Drain the pending worklist, finalize, and build the solution."""
+        sink = self.sink
+        started = time.perf_counter()
+        self._closure_started = started
+        # Segment baselines: budget limits bound this drain's growth,
+        # not the cumulative (possibly restored) counters.
+        self._segment_work = self.stats.work
+        self._segment_edges = edge_estimate(self.stats)
         if sink is not None:
-            sink.phase_end("closure")
+            sink.phase_begin("closure")
+        try:
+            if self._guarded:
+                self._drain_guarded()
+            else:
+                self._drain()
+        finally:
+            # += so interrupted closure time survives checkpoint/resume
+            # and accumulates across incremental batches.
+            self.stats.closure_seconds += time.perf_counter() - started
+            if sink is not None:
+                sink.phase_end("closure")
+        if sink is not None:
             sink.phase_begin("finalize")
         self.graph.finalize_statistics()
         if sink is not None:
             sink.phase_end("finalize")
+        if not self.status.is_partial:
+            if self._audit_policy.final:
+                self._run_audit()
+            self.status = (
+                SolveStatus.INCONSISTENT
+                if self.diagnostics
+                else SolveStatus.COMPLETE
+            )
         if self.options.strict and self.diagnostics:
             solution = self._make_solution({})
             solution.raise_on_errors()
@@ -168,6 +246,105 @@ class SolverEngine:
             else:
                 resolve(first, second)
 
+    def _drain_guarded(self) -> None:
+        """Drain under budget / cancellation / stride-audit supervision.
+
+        Dispatches identically to :meth:`_drain` (including the record
+        and periodic paths), but every ``check_stride`` operations it
+        polls the budget and cancellation token, and every
+        ``stride-N`` operations it audits the graph invariants.  The
+        checks observe and stop — they never reorder or skip operations
+        — so counters stay bit-identical to an unguarded run.
+
+        On a limit, either raises (``on_budget="raise"``) or sets a
+        partial :attr:`status` and returns with the remaining worklist
+        intact, ready for :func:`repro.resilience.checkpoint.capture`
+        or :meth:`resume`.
+        """
+        pending = self.pending
+        popleft = pending.popleft
+        graph = self.graph
+        add_var_var = graph.add_var_var
+        add_source = graph.add_source
+        add_sink = graph.add_sink
+        resolve = self._resolve
+        record = self.record_var_edges
+        edge_keys = self._var_edge_keys
+        periodic = self._periodic
+        stride = self._check_stride
+        audit_stride = self._audit_policy.stride
+        limits = self._budget is not None or self._cancellation is not None
+        since_check = 0
+        since_audit = 0
+        while pending:
+            if limits:
+                since_check += 1
+                if since_check >= stride:
+                    since_check = 0
+                    if not self._check_limits():
+                        return
+            if audit_stride is not None:
+                since_audit += 1
+                if since_audit >= audit_stride:
+                    since_audit = 0
+                    self._run_audit()
+            tag, first, second = popleft()
+            if tag == OP_VAR_VAR:
+                if record:
+                    edge_keys.add((first << 32) | second)
+                add_var_var(first, second)
+                if periodic:
+                    self._since_sweep += 1
+                    if self._since_sweep >= self._periodic_interval:
+                        self._since_sweep = 0
+                        self.stats.periodic_sweeps += 1
+                        eliminated = graph.collapse_all_sccs()
+                        if self.sink is not None:
+                            self.sink.sweep(eliminated)
+            elif tag == OP_SOURCE:
+                add_source(first, second)
+            elif tag == OP_SINK:
+                add_sink(first, second)
+            else:
+                resolve(first, second)
+
+    def _check_limits(self) -> bool:
+        """Poll cancellation and budget; False means stop (partial)."""
+        cancellation = self._cancellation
+        if cancellation is not None and cancellation.cancelled:
+            if self._on_budget_partial:
+                self.status = SolveStatus.CANCELLED
+                return False
+            raise SolveCancelledError(self.stats.work)
+        budget = self._budget
+        if budget is not None:
+            elapsed = time.perf_counter() - self._closure_started
+            hit = budget.exceeded(
+                self.stats.work - self._segment_work,
+                edge_estimate(self.stats) - self._segment_edges,
+                elapsed,
+            )
+            if hit is not None:
+                reason, limit, value = hit
+                if self._on_budget_partial:
+                    self.status = SolveStatus.BUDGET_EXHAUSTED
+                    return False
+                raise BudgetExceededError(
+                    reason, limit, value, self.stats.work
+                )
+        return True
+
+    def _run_audit(self) -> None:
+        """Audit graph invariants; report failures and raise on any."""
+        failures = audit_graph(self.graph)
+        if not failures:
+            return
+        sink = self.sink
+        if sink is not None:
+            for failure in failures:
+                sink.audit_failure(failure)
+        raise GraphInvariantError(failures)
+
     def _resolve(self, left: SetExpression, right: SetExpression) -> None:
         """Apply the resolution rules R and enqueue the atomic results."""
         self.stats.resolutions += 1
@@ -215,4 +392,5 @@ class SolverEngine:
             self.diagnostics,
             var_edges=self.var_edges if self.record_var_edges else None,
             num_vars=self.system.num_vars,
+            status=self.status,
         )

@@ -25,6 +25,7 @@ from ..graph.cycles import SearchMode
 from ..graph.order import OrderSpec, RandomOrder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace ← solver)
+    from ..resilience.budget import CancellationToken, SolveBudget
     from ..trace.sinks import TraceSink
 
 
@@ -86,6 +87,34 @@ class SolverOptions:
     #: phase spans.  None (the default) disables tracing at the cost of
     #: one attribute check per instrumented operation.
     sink: Optional["TraceSink"] = None
+    #: bounds on this run (work units / wall clock / edge estimate);
+    #: None (the default) leaves the run unbounded and keeps the
+    #: resilience checks entirely off the closure hot path
+    budget: Optional["SolveBudget"] = None
+    #: cooperative cancellation flag polled on ``check_stride``
+    cancellation: Optional["CancellationToken"] = None
+    #: what happens when the budget is exhausted or the run is
+    #: cancelled: "raise" (BudgetExceededError / SolveCancelledError) or
+    #: "partial" (return a partial Solution whose status reports
+    #: BUDGET_EXHAUSTED / CANCELLED; least-solution queries on it are
+    #: sound lower bounds)
+    on_budget: str = "raise"
+    #: how many worklist operations between budget/cancellation checks;
+    #: smaller = tighter enforcement, larger = less overhead
+    check_stride: int = 256
+    #: graph-invariant auditing: "off" (or None), "final", or
+    #: "stride-N" (audit every N processed operations, plus final); see
+    #: :mod:`repro.resilience.audit`
+    audit: Optional[str] = None
+    #: validate the constraint system before closure, turning malformed
+    #: input (stale variable indices, arity mismatches) into structured
+    #: InvalidSystemError instead of IndexError deep in the graph code
+    validate: bool = True
+    #: record bucket insertion order so the engine can be checkpointed
+    #: with exact counter reproduction on resume (see
+    #: :mod:`repro.resilience.checkpoint`); implied by setting a budget
+    #: or cancellation token, since those are how runs get interrupted
+    checkpointable: bool = False
 
     def order_spec(self) -> OrderSpec:
         return self.order if self.order is not None else RandomOrder(self.seed)

@@ -17,11 +17,24 @@ from ..constraints.expressions import Term, Var
 from ..graph.base import ConstraintGraphBase
 from ..graph.scc import SccSummary, summarize_sccs
 from ..graph.stats import SolverStats
+from ..resilience.budget import SolveStatus
 from .options import SolverOptions
 
 
 class Solution:
-    """The result of solving a constraint system."""
+    """The result of solving a constraint system.
+
+    :attr:`status` records how the run ended.  For a partial status
+    (:attr:`SolveStatus.is_partial` — budget exhausted or cancelled) the
+    graph may not be fully closed, and every query degrades to a *sound
+    lower bound*: :meth:`least_solution` returns a subset of the true
+    least solution (closure only derives facts implied by the input, so
+    nothing reported can be wrong — but facts may be missing), and
+    :meth:`same_component` may answer ``False`` for variables a complete
+    run would have collapsed (``True`` answers remain correct).
+    Diagnostics recorded so far are genuine inconsistencies, but absence
+    of diagnostics on a partial run proves nothing.
+    """
 
     def __init__(
         self,
@@ -32,12 +45,16 @@ class Solution:
         diagnostics: List[ConstraintDiagnostic],
         var_edges: Optional[Set[Tuple[int, int]]] = None,
         num_vars: int = 0,
+        status: SolveStatus = SolveStatus.COMPLETE,
     ) -> None:
         self.options = options
         self.graph = graph
         self._least = least
         self.stats = stats
         self.diagnostics = diagnostics
+        #: how the run ended (see the class docstring for the partial
+        #: soundness contract)
+        self.status = status
         #: processed var-var constraints over original variable ids
         #: (present only when options.record_var_edges was set)
         self.var_edges = var_edges
@@ -71,6 +88,11 @@ class Solution:
     def ok(self) -> bool:
         return not self.diagnostics
 
+    @property
+    def is_partial(self) -> bool:
+        """Whether the run stopped before reaching a fixed point."""
+        return self.status.is_partial
+
     def raise_on_errors(self) -> None:
         """Raise on the first recorded inconsistency, if any."""
         if self.diagnostics:
@@ -94,6 +116,13 @@ class Solution:
         return summarize_sccs(range(self.num_vars), self.var_edges)
 
     def __repr__(self) -> str:
+        if self.status is not SolveStatus.COMPLETE:
+            return (
+                f"Solution({self.options.label}, "
+                f"status={self.status.value}, work={self.stats.work}, "
+                f"edges={self.stats.final_edges}, "
+                f"eliminated={self.stats.vars_eliminated})"
+            )
         return (
             f"Solution({self.options.label}, work={self.stats.work}, "
             f"edges={self.stats.final_edges}, "

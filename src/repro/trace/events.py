@@ -21,6 +21,7 @@ event                args
 ``sweep``            ``eliminated``
 ``phase.begin``      ``name`` ("closure"/"finalize"/"least-solution")
 ``phase.end``        ``name``
+``audit.failure``    ``check``, ``subject`` (variable id), ``detail``
 ===================  ==================================================
 
 ``edge`` outcomes follow the Work-metric accounting of
@@ -45,6 +46,7 @@ EV_COLLAPSE = "collapse"
 EV_SWEEP = "sweep"
 EV_PHASE_BEGIN = "phase.begin"
 EV_PHASE_END = "phase.end"
+EV_AUDIT = "audit.failure"
 
 #: Every event name, in documentation order.
 EVENT_NAMES = (
@@ -58,6 +60,7 @@ EVENT_NAMES = (
     EV_SWEEP,
     EV_PHASE_BEGIN,
     EV_PHASE_END,
+    EV_AUDIT,
 )
 
 #: Events that open/close a duration span in the Chrome trace export.

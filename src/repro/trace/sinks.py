@@ -26,6 +26,7 @@ import time
 from typing import Callable, Iterable, List, Optional, Sequence, TextIO
 
 from .events import (
+    EV_AUDIT,
     EV_CLASH,
     EV_COLLAPSE,
     EV_EDGE,
@@ -79,6 +80,12 @@ class TraceSink:
 
     def sweep(self, eliminated: int) -> None:
         """A periodic offline SCC sweep ran (PERIODIC policy only)."""
+
+    # -- auditing -------------------------------------------------------
+    def audit_failure(self, failure: object) -> None:
+        """The invariant auditor found a violation (an
+        :class:`repro.resilience.audit.AuditFailure`); emitted for every
+        failure of an audit pass before the engine raises."""
 
     # -- phases ---------------------------------------------------------
     def phase_begin(self, name: str) -> None:
@@ -143,6 +150,14 @@ class CollectorSink(TraceSink):
     def sweep(self, eliminated):
         self._emit(EV_SWEEP, eliminated=eliminated)
 
+    def audit_failure(self, failure):
+        self._emit(
+            EV_AUDIT,
+            check=getattr(failure, "check", "unknown"),
+            subject=getattr(failure, "subject", -1),
+            detail=getattr(failure, "detail", str(failure)),
+        )
+
     def phase_begin(self, name):
         self._emit(EV_PHASE_BEGIN, name=name)
 
@@ -187,6 +202,10 @@ class TeeSink(TraceSink):
     def sweep(self, eliminated):
         for sink in self.sinks:
             sink.sweep(eliminated)
+
+    def audit_failure(self, failure):
+        for sink in self.sinks:
+            sink.audit_failure(failure)
 
     def phase_begin(self, name):
         for sink in self.sinks:
@@ -245,10 +264,29 @@ class JsonlSink(TraceSink):
     payloads (terms, diagnostics) are stringified.  Use
     :func:`repro.trace.chrome.convert_jsonl` to turn the log into a
     Chrome/Perfetto trace.
+
+    I/O failure policy (``on_error``): tracing must never take a solver
+    run down with it.  Each record is serialized fully before a single
+    ``write`` call, so a failure never leaves the sink's own partial
+    fragment interleaved with later records.  On the first write/flush
+    error the sink permanently disables itself (:attr:`disabled`,
+    :attr:`last_error`), then either re-raises (``"raise"``, the
+    default) or swallows the error and drops all further events
+    (``"disable"`` — the run completes, the trace is truncated).
     """
 
-    def __init__(self, target) -> None:
+    def __init__(self, target, on_error: str = "raise") -> None:
         """``target`` is a path or an open text file."""
+        if on_error not in ("raise", "disable"):
+            raise ValueError(
+                f"JsonlSink.on_error must be 'raise' or 'disable', "
+                f"got {on_error!r}"
+            )
+        self.on_error = on_error
+        #: set permanently on the first I/O failure
+        self.disabled = False
+        #: the exception that disabled the sink, if any
+        self.last_error: Optional[BaseException] = None
         if isinstance(target, (str, bytes)):
             self._file: TextIO = open(target, "w", encoding="utf-8")
             self._owns_file = True
@@ -256,16 +294,29 @@ class JsonlSink(TraceSink):
             self._file = target
             self._owns_file = False
         self.epoch = time.perf_counter()
-        self._write = self._file.write
-        self._write(json.dumps(
+        self._write_line(json.dumps(
             {"ev": "meta", "schema": JSONL_SCHEMA_VERSION}
-        ) + "\n")
+        ))
+
+    def _write_line(self, line: str) -> None:
+        """Write one complete record with a single ``write`` call."""
+        if self.disabled:
+            return
+        try:
+            self._file.write(line + "\n")
+        except Exception as error:
+            self.disabled = True
+            self.last_error = error
+            if self.on_error == "raise":
+                raise
 
     def _emit(self, _event: str, **args: object) -> None:
+        if self.disabled:
+            return
         obj = {"ev": _event, "ts": time.perf_counter() - self.epoch}
         for key, value in args.items():
             obj[key] = _jsonable(value)
-        self._write(json.dumps(obj) + "\n")
+        self._write_line(json.dumps(obj))
 
     def edge(self, kind, src, dst, outcome):
         self._emit(EV_EDGE, kind=kind, src=src, dst=dst, outcome=outcome)
@@ -303,11 +354,18 @@ class JsonlSink(TraceSink):
         self._emit(EV_PHASE_END, name=name)
 
     def close(self):
-        if self._file is not None:
-            self._file.flush()
+        if self._file is None:
+            return
+        file, self._file = self._file, None  # type: ignore[assignment]
+        try:
+            file.flush()
             if self._owns_file:
-                self._file.close()
-            self._file = None  # type: ignore[assignment]
+                file.close()
+        except Exception as error:
+            self.disabled = True
+            self.last_error = error
+            if self.on_error == "raise":
+                raise
 
 
 def read_jsonl(source) -> List[TraceEvent]:

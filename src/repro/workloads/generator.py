@@ -537,3 +537,107 @@ class CProgramGenerator:
 def generate_program(config: GeneratorConfig) -> str:
     """Generate the C source for one benchmark configuration."""
     return CProgramGenerator(config).generate()
+
+
+# ----------------------------------------------------------------------
+# Random constraint systems (differential fuzzing, repro.resilience.fuzz)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RandomSystemConfig:
+    """Shape of one seeded random constraint system.
+
+    Unlike :class:`GeneratorConfig` (which emits C source and exercises
+    the full frontend), this builds a :class:`~repro.constraints.system.
+    ConstraintSystem` directly, with shapes the frontend never produces:
+    mixed-variance constructors, labeled atoms in arbitrary positions,
+    deliberately clashing structural constraints, and dense feedback
+    edges that force cycles.  The differential fuzzer solves these under
+    every Table-4 configuration and cross-checks the results.
+    """
+
+    seed: int = 0
+    #: set variables in the system
+    variables: int = 24
+    #: distinct labeled nullary atoms (the ground terms of solutions)
+    atoms: int = 6
+    #: ``X <= Y`` constraints
+    var_var: int = 28
+    #: ``term <= X`` constraints
+    sources: int = 12
+    #: ``X <= term`` constraints
+    sinks: int = 10
+    #: ``term <= term`` constraints (structural decomposition / clashes)
+    structural: int = 6
+    #: probability a var-var edge is immediately mirrored (closes cycles)
+    feedback: float = 0.3
+    #: maximum constructor nesting of generated terms
+    max_depth: int = 2
+    #: probability a generated sink is ``0`` / a source is ``1``
+    #: (exercises the nonempty-in-zero / one-in-constructed diagnostics)
+    extremes: float = 0.05
+    name: str = ""
+
+
+def random_system(config: RandomSystemConfig):
+    """Build the seeded random system described by ``config``.
+
+    Deterministic in ``config`` (including its seed): the same config
+    rebuilds an identical system, which is what lets the fuzzer report a
+    disagreement by seed alone.
+    """
+    from ..constraints.system import ConstraintSystem
+    from ..constraints.variance import CONTRAVARIANT, COVARIANT
+
+    rng = random.Random(config.seed)
+    system = ConstraintSystem(config.name or f"fuzz-{config.seed}")
+    variables = system.fresh_vars(max(2, config.variables))
+    atoms = [
+        system.term(system.constructor(f"a{i}"), (), label=f"atom-{i}")
+        for i in range(max(1, config.atoms))
+    ]
+    ref = system.constructor("ref", (COVARIANT,))
+    fun = system.constructor("fun", (CONTRAVARIANT, COVARIANT))
+    pair = system.constructor("pair", (COVARIANT, COVARIANT))
+    compound = (ref, fun, pair)
+
+    def make_term(depth: int):
+        if depth <= 0 or rng.random() < 0.4:
+            return rng.choice(atoms)
+        ctor = rng.choice(compound)
+        args = tuple(
+            rng.choice(variables) if rng.random() < 0.5
+            else make_term(depth - 1)
+            for _ in range(ctor.arity)
+        )
+        return system.term(ctor, args)
+
+    for _ in range(config.var_var):
+        left, right = rng.sample(variables, 2)
+        system.add(left, right)
+        if rng.random() < config.feedback:
+            system.add(right, left)
+    for _ in range(config.sources):
+        if rng.random() < config.extremes:
+            system.add(system.one, rng.choice(variables))
+        else:
+            system.add(make_term(config.max_depth), rng.choice(variables))
+    for _ in range(config.sinks):
+        if rng.random() < config.extremes:
+            system.add(rng.choice(variables), system.zero)
+        else:
+            system.add(rng.choice(variables), make_term(config.max_depth))
+    for _ in range(config.structural):
+        if rng.random() < 0.7:
+            # Same constructor on both sides: decomposes structurally
+            # (by variance) instead of clashing immediately.
+            ctor = rng.choice(compound)
+            args = lambda: tuple(  # noqa: E731 - local shorthand
+                rng.choice(variables) if rng.random() < 0.6
+                else make_term(config.max_depth - 1)
+                for _ in range(ctor.arity)
+            )
+            system.add(system.term(ctor, args()), system.term(ctor, args()))
+        else:
+            system.add(make_term(config.max_depth),
+                       make_term(config.max_depth))
+    return system

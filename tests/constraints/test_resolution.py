@@ -160,3 +160,40 @@ class TestMalformed:
     def test_rejects_non_expression_right(self):
         with pytest.raises(MalformedExpressionError):
             decompose_pair(Var(0), 42)
+
+
+class TestDepthLimit:
+    """The explicit-stack decomposition is depth-guarded (resilience)."""
+
+    def _nested(self, depth):
+        unary = Constructor("u", (COV,))
+        left, right = Var(0), Var(1)
+        for _ in range(depth):
+            left = Term(unary, (left,))
+            right = Term(unary, (right,))
+        return left, right
+
+    def test_exceeding_max_depth_raises_structured_error(self):
+        from repro.constraints import DepthLimitError
+        from repro.constraints.resolution import decompose
+
+        left, right = self._nested(500)
+        with pytest.raises(DepthLimitError) as excinfo:
+            decompose(left, right, [], [], max_depth=100)
+        assert excinfo.value.limit == 100
+        assert excinfo.value.depth == 101
+        assert "100" in str(excinfo.value)
+
+    def test_depth_limit_is_repro_error(self):
+        from repro.constraints import DepthLimitError
+        from repro.errors import ReproError
+
+        assert issubclass(DepthLimitError, ReproError)
+
+    def test_at_limit_succeeds(self):
+        from repro.constraints.resolution import decompose
+
+        left, right = self._nested(100)
+        atoms = []
+        decompose(left, right, atoms, [], max_depth=100)
+        assert atoms == [(VAR_VAR, Var(0), Var(1))]

@@ -1,0 +1,190 @@
+"""Checkpoint/resume: exact state reproduction, format safety."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.measure import counters_of
+from repro.resilience import (
+    CheckpointError,
+    EngineCheckpoint,
+    SolveBudget,
+    capture,
+    restore,
+)
+from repro.solver import SolverEngine, SolverOptions
+from repro.experiments.config import options_for
+from repro.workloads.generator import RandomSystemConfig, random_system
+
+#: The four directly-engine-drivable configurations (oracle runs go
+#: through the two-phase driver, not a single SolverEngine).
+ENGINE_LABELS = ("SF-Plain", "IF-Plain", "SF-Online", "IF-Online")
+
+
+def make_system(seed=5):
+    return random_system(RandomSystemConfig(seed=seed, variables=28,
+                                            var_var=46, feedback=0.35))
+
+
+def interrupted_counters(system, label, max_work):
+    """Run partial -> capture -> bytes round-trip -> restore -> resume."""
+    partial_options = options_for(
+        label, budget=SolveBudget(max_work=max_work),
+        on_budget="partial", check_stride=1,
+    )
+    engine = SolverEngine(system, partial_options)
+    first = engine.run()
+    assert first.is_partial, "budget did not interrupt the run"
+    blob = capture(engine).to_bytes()
+    resumed = restore(
+        system,
+        options_for(label, checkpointable=True),
+        EngineCheckpoint.from_bytes(blob),
+    )
+    return counters_of(resumed.resume()), resumed
+
+
+@pytest.mark.parametrize("label", ENGINE_LABELS)
+def test_resume_matches_uninterrupted(label):
+    """The acceptance property: interrupted == uninterrupted, exactly."""
+    system = make_system()
+    uninterrupted = SolverEngine(
+        system, options_for(label, checkpointable=True)
+    ).run()
+    got, engine = interrupted_counters(system, label, max_work=40)
+    assert got == counters_of(uninterrupted)
+    # And the answers, not just the counters.
+    final = engine._make_solution(engine._least_solution())
+    for var in system.variables:
+        assert final.least_solution(var) == uninterrupted.least_solution(var)
+
+
+@pytest.mark.parametrize("fraction", (8, 3, 2))
+def test_resume_is_cut_point_independent(fraction):
+    system = make_system(seed=9)
+    expected = counters_of(
+        SolverEngine(
+            system, options_for("IF-Online", checkpointable=True)
+        ).run()
+    )
+    cut = max(1, expected["work"] // fraction)
+    got, _ = interrupted_counters(system, "IF-Online", max_work=cut)
+    assert got == expected
+
+
+def test_capture_requires_journaling():
+    engine = SolverEngine(make_system(), SolverOptions())
+    engine.run()
+    with pytest.raises(CheckpointError, match="journal"):
+        capture(engine)
+
+
+def test_bytes_rejects_garbage_and_bad_versions():
+    with pytest.raises(CheckpointError, match="magic"):
+        EngineCheckpoint.from_bytes(b"not a checkpoint")
+    engine = SolverEngine(
+        make_system(), SolverOptions(checkpointable=True)
+    )
+    engine.run()
+    checkpoint = capture(engine)
+    checkpoint.version = 999
+    with pytest.raises(CheckpointError, match="version"):
+        EngineCheckpoint.from_bytes(checkpoint.to_bytes())
+
+
+def test_restore_rejects_mismatched_system():
+    system = make_system(seed=5)
+    engine = SolverEngine(system, SolverOptions(checkpointable=True))
+    engine.run()
+    checkpoint = capture(engine)
+    other = make_system(seed=6)
+    with pytest.raises(CheckpointError, match="does not match"):
+        restore(other, SolverOptions(checkpointable=True), checkpoint)
+    with pytest.raises(CheckpointError, match="does not match"):
+        restore(
+            system,
+            options_for("SF-Plain", checkpointable=True),
+            checkpoint,
+        )
+
+
+def test_save_load_file_round_trip(tmp_path):
+    system = make_system()
+    engine = SolverEngine(system, SolverOptions(checkpointable=True))
+    engine.run()
+    path = os.fspath(tmp_path / "run.ckpt")
+    capture(engine).save(path)
+    loaded = EngineCheckpoint.load(path)
+    resumed = restore(system, SolverOptions(checkpointable=True), loaded)
+    assert counters_of(resumed.resume()) == counters_of(
+        engine._make_solution(engine._least_solution())
+    )
+
+
+def test_restored_engine_is_checkpointable_again():
+    system = make_system()
+    first = SolverEngine(system, options_for(
+        "IF-Online", budget=SolveBudget(max_work=25),
+        on_budget="partial", check_stride=1,
+    ))
+    first.run()
+    second = restore(
+        system,
+        options_for("IF-Online", budget=SolveBudget(max_work=25),
+                    on_budget="partial", check_stride=1),
+        capture(first),
+    )
+    second.resume()
+    capture(second)  # must not raise
+
+
+#: Subprocess script: interrupt a baseline benchmark mid-closure,
+#: checkpoint, restore, resume, and compare the final work counters
+#: against the committed benchmarks/BASELINE.json record.  Runs in a
+#: child process because baseline counters are pinned to
+#: PYTHONHASHSEED=0 while the test suite runs under any hash seed.
+_BASELINE_SCRIPT = """
+import json, sys
+from repro.bench.measure import counters_of
+from repro.experiments.config import options_for
+from repro.resilience import (EngineCheckpoint, SolveBudget, capture,
+                              restore)
+from repro.solver import SolverEngine
+from repro.workloads import suite
+
+label, bench_name = sys.argv[1], sys.argv[2]
+baseline = json.load(open("benchmarks/BASELINE.json"))
+record = next(r for r in baseline["records"]
+              if r["benchmark"] == bench_name and r["experiment"] == label)
+system = next(b for b in suite("quick") if b.name == bench_name
+              ).program.system
+engine = SolverEngine(system, options_for(
+    label, budget=SolveBudget(max_work=record["counters"]["work"] // 2),
+    on_budget="partial", check_stride=1,
+))
+assert engine.run().is_partial
+blob = capture(engine).to_bytes()
+resumed = restore(system, options_for(label, checkpointable=True),
+                  EngineCheckpoint.from_bytes(blob))
+got = counters_of(resumed.resume())
+want = record["counters"]
+assert got == want, f"resumed counters {got} != baseline {want}"
+print("ok")
+"""
+
+
+@pytest.mark.parametrize("label", ("SF-Online", "IF-Online"))
+def test_resume_reproduces_committed_baseline(label):
+    env = dict(os.environ, PYTHONHASHSEED="0",
+               PYTHONPATH=os.path.join(os.getcwd(), "src"))
+    result = subprocess.run(
+        [sys.executable, "-c", _BASELINE_SCRIPT, label, "allroots"],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "ok"

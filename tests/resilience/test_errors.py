@@ -1,0 +1,94 @@
+"""The error taxonomy: one catchable root, structured fields."""
+
+import pytest
+
+from repro import ConstraintSystem, ReproError
+from repro.cfront.errors import CFrontError
+from repro.constraints.errors import (
+    ConstraintError,
+    DepthLimitError,
+    InvalidSystemError,
+    MalformedExpressionError,
+)
+from repro.resilience.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    GraphInvariantError,
+    ResilienceError,
+    SolveCancelledError,
+)
+
+
+class TestHierarchy:
+    def test_resilience_errors_inherit_root(self):
+        for cls in (
+            ResilienceError,
+            BudgetExceededError,
+            SolveCancelledError,
+            CheckpointError,
+            GraphInvariantError,
+        ):
+            assert issubclass(cls, ReproError), cls
+
+    def test_constraint_errors_inherit_root(self):
+        for cls in (
+            ConstraintError,
+            InvalidSystemError,
+            DepthLimitError,
+            MalformedExpressionError,
+        ):
+            assert issubclass(cls, ReproError), cls
+
+    def test_cfront_errors_inherit_root(self):
+        assert issubclass(CFrontError, ReproError)
+
+    def test_root_is_exported_at_top_level(self):
+        import repro
+
+        assert repro.ReproError is ReproError
+
+
+class TestCatchOneRoot:
+    """The point of the hierarchy: ``except repro.ReproError`` works."""
+
+    def test_solver_validation_caught_by_root(self):
+        from repro.constraints.expressions import Var
+        from repro.solver import solve
+
+        system = ConstraintSystem("bad")
+        (v,) = system.fresh_vars(1)
+        system._constraints.append((v, Var(99, "stale")))
+        with pytest.raises(ReproError):
+            solve(system)
+
+    def test_budget_caught_by_root(self):
+        from repro.solver import SolveBudget, SolverOptions, solve
+        from repro.workloads.generator import (
+            RandomSystemConfig,
+            random_system,
+        )
+
+        system = random_system(RandomSystemConfig(seed=1))
+        with pytest.raises(ReproError):
+            solve(system, SolverOptions(
+                budget=SolveBudget(max_work=5), check_stride=1
+            ))
+
+
+class TestFields:
+    def test_budget_exceeded_fields(self):
+        error = BudgetExceededError("work", 100, 105, work_done=105)
+        assert error.reason == "work"
+        assert error.limit == 100
+        assert error.value == 105
+        assert error.work_done == 105
+        assert "work" in str(error)
+
+    def test_cancelled_fields(self):
+        error = SolveCancelledError(work_done=42)
+        assert error.work_done == 42
+
+    def test_invalid_system_fields(self):
+        error = InvalidSystemError("arity-mismatch", "bad term", 3)
+        assert error.reason == "arity-mismatch"
+        assert error.constraint_index == 3

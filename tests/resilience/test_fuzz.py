@@ -1,0 +1,136 @@
+"""The differential fuzz harness: agreement, bug-catching, shrinking."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.graph.base import ConstraintGraphBase
+from repro.resilience import FuzzDisagreement, run_fuzz
+from repro.resilience.errors import ResilienceError
+from repro.resilience.fuzz import (
+    check_system,
+    load_reproducer,
+    save_reproducer,
+    shrink_constraints,
+    subsystem,
+    system_from_json,
+    system_to_json,
+)
+from repro.workloads.generator import RandomSystemConfig, random_system
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "fuzz_corpus")
+
+
+def inject_broken_absorb(monkeypatch):
+    """Union without re-emitting or clearing the absorbed variable."""
+
+    def broken(self, absorbed, witness):
+        self.unionfind.union_into(witness, absorbed)
+        self.stats.vars_eliminated += 1
+
+    monkeypatch.setattr(ConstraintGraphBase, "_absorb", broken)
+
+
+class TestHealthyAgreement:
+    def test_check_system_agrees(self):
+        assert check_system(random_system(RandomSystemConfig(seed=1))) is None
+
+    def test_run_fuzz_smoke(self):
+        assert run_fuzz(count=12, seed=0, corpus_dir=None) == []
+
+
+class TestInjectedBug:
+    def test_fuzzer_catches_broken_collapse(self, monkeypatch, tmp_path):
+        inject_broken_absorb(monkeypatch)
+        corpus = os.fspath(tmp_path / "corpus")
+        found = run_fuzz(count=4, seed=0, corpus_dir=corpus)
+        assert found, "fuzzer missed the injected bug"
+        first = found[0]
+        assert isinstance(first, FuzzDisagreement)
+        assert first.kind in ("least-solution", "collapse", "verdict")
+        # The reproducer was saved and replays to the same disagreement.
+        assert first.path and os.path.exists(first.path)
+        system, meta = load_reproducer(first.path)
+        assert meta["kind"] == first.kind
+        replayed = check_system(system)
+        assert replayed is not None
+        # Shrinking happened: far fewer constraints than generated.
+        assert first.constraints < len(
+            random_system(RandomSystemConfig(seed=first.seed))
+        )
+
+    def test_reproducer_passes_once_fixed(self, monkeypatch, tmp_path):
+        inject_broken_absorb(monkeypatch)
+        found = run_fuzz(count=2, seed=0,
+                         corpus_dir=os.fspath(tmp_path))
+        monkeypatch.undo()
+        for disagreement in found:
+            system, _ = load_reproducer(disagreement.path)
+            assert check_system(system) is None
+
+
+class TestShrinking:
+    def test_subsystem_keeps_selected_constraints(self):
+        system = random_system(RandomSystemConfig(seed=3))
+        sub = subsystem(system, [0, 2])
+        assert len(sub) == 2
+        assert sub.num_vars == system.num_vars
+        assert str(sub.constraints[0]) == str(system.constraints[0])
+        assert str(sub.constraints[1]) == str(system.constraints[2])
+
+    def test_shrink_is_1_minimal(self):
+        system = random_system(RandomSystemConfig(seed=3))
+        target = str(system.constraints[5])
+
+        def failing(candidate):
+            return any(str(c) == target for c in candidate.constraints)
+
+        shrunk = shrink_constraints(system, failing)
+        assert len(shrunk) == 1
+        assert str(shrunk.constraints[0]) == target
+
+
+class TestCorpusFormat:
+    def test_json_round_trip(self):
+        system = random_system(RandomSystemConfig(seed=11))
+        clone = system_from_json(system_to_json(system))
+        assert len(clone) == len(system)
+        assert clone.num_vars == system.num_vars
+        assert [str(c) for c in clone.constraints] == [
+            str(c) for c in system.constraints
+        ]
+        assert check_system(clone) is None
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 999, "system": {}}))
+        with pytest.raises(ResilienceError, match="format"):
+            load_reproducer(os.fspath(path))
+
+    def test_save_reproducer_is_valid_json(self, tmp_path):
+        system = random_system(RandomSystemConfig(seed=2))
+        disagreement = FuzzDisagreement(
+            seed=2, label="IF-Online", kind="least-solution",
+            detail="synthetic", constraints=len(system),
+        )
+        path = save_reproducer(os.fspath(tmp_path), disagreement, system)
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["seed"] == 2
+        assert document["system"]["constraints"]
+
+
+class TestCorpusReplay:
+    """Every committed corpus entry once exposed a real disagreement;
+    after the fix, all configurations must agree on it forever."""
+
+    def test_committed_corpus_agrees(self):
+        for path in sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json"))):
+            system, meta = load_reproducer(path)
+            assert check_system(system) is None, (
+                f"regression: corpus entry {os.path.basename(path)} "
+                f"(originally {meta['kind']} under {meta['label']}) "
+                f"disagrees again"
+            )

@@ -1,0 +1,106 @@
+"""Solve-time system validation: structured errors, never IndexError."""
+
+import pytest
+
+from repro import ConstraintSystem, Variance
+from repro.constraints.constructors import Constructor
+from repro.constraints.errors import InvalidSystemError
+from repro.constraints.expressions import Term, Var
+from repro.solver import SolverOptions, solve
+
+COV = Variance.COVARIANT
+
+
+def smuggle(system, left, right):
+    """Bypass ``add``'s checks, as a deserializer or buggy client might."""
+    system._constraints.append((left, right))
+
+
+class TestValidateCases:
+    def test_var_out_of_range(self):
+        system = ConstraintSystem()
+        (v,) = system.fresh_vars(1)
+        smuggle(system, v, Var(99, "stale"))
+        with pytest.raises(InvalidSystemError) as excinfo:
+            system.validate()
+        assert excinfo.value.reason == "var-out-of-range"
+        assert excinfo.value.constraint_index == 0
+
+    def test_arity_mismatch(self):
+        # Term.__init__ itself rejects wrong arities, so forge the term
+        # the way a buggy deserializer would: bypassing the constructor.
+        system = ConstraintSystem()
+        (v,) = system.fresh_vars(1)
+        unary = system.constructor("u", (COV,))
+        forged = object.__new__(Term)
+        forged.constructor = unary
+        forged.args = ()  # 0 args for 1-ary
+        forged.label = None
+        forged._hash = 0
+        smuggle(system, forged, v)
+        with pytest.raises(InvalidSystemError) as excinfo:
+            system.validate()
+        assert excinfo.value.reason == "arity-mismatch"
+
+    def test_signature_conflict(self):
+        system = ConstraintSystem()
+        (v,) = system.fresh_vars(1)
+        system.constructor("c", (COV,))
+        imposter = Constructor("c", (COV, COV))
+        smuggle(system, Term(imposter, (v, v)), v)
+        with pytest.raises(InvalidSystemError) as excinfo:
+            system.validate()
+        assert excinfo.value.reason == "signature-conflict"
+
+    def test_not_an_expression(self):
+        system = ConstraintSystem()
+        (v,) = system.fresh_vars(1)
+        smuggle(system, v, "not an expression")
+        with pytest.raises(InvalidSystemError) as excinfo:
+            system.validate()
+        assert excinfo.value.reason == "not-an-expression"
+
+    def test_nested_fault_found(self):
+        system = ConstraintSystem()
+        (v,) = system.fresh_vars(1)
+        pair = system.constructor("pair", (COV, COV))
+        nested = Term(pair, (Term(pair, (v, Var(7, "stale"))), v))
+        smuggle(system, nested, v)
+        with pytest.raises(InvalidSystemError) as excinfo:
+            system.validate()
+        assert excinfo.value.reason == "var-out-of-range"
+
+    def test_constraint_index_points_at_offender(self):
+        system = ConstraintSystem()
+        a, b = system.fresh_vars(2)
+        system.add(a, b)
+        system.add(b, a)
+        smuggle(system, a, Var(50, "stale"))
+        with pytest.raises(InvalidSystemError) as excinfo:
+            system.validate()
+        assert excinfo.value.constraint_index == 2
+
+    def test_valid_system_passes(self):
+        system = ConstraintSystem()
+        a, b = system.fresh_vars(2)
+        system.add(a, b)
+        system.validate()  # must not raise
+
+
+class TestSolveIntegration:
+    def test_solve_validates_by_default(self):
+        system = ConstraintSystem()
+        (v,) = system.fresh_vars(1)
+        smuggle(system, v, Var(99, "stale"))
+        with pytest.raises(InvalidSystemError):
+            solve(system)
+
+    def test_validation_can_be_disabled(self):
+        system = ConstraintSystem()
+        (v,) = system.fresh_vars(1)
+        smuggle(system, v, Var(99, "stale"))
+        # Without validation the stale index leaks a raw low-level
+        # error from the graph code — the failure mode validation
+        # exists to prevent.
+        with pytest.raises((IndexError, KeyError)):
+            solve(system, SolverOptions(validate=False))

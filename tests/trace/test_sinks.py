@@ -1,6 +1,7 @@
 """Sink API contracts: null-sink overhead guard, tee, legacy, JSONL."""
 
 import io
+import json
 
 import pytest
 
@@ -202,3 +203,87 @@ class TestJsonl:
         sink = JsonlSink(str(tmp_path / "x.jsonl"))
         sink.close()
         sink.close()
+
+
+class FailingFile(io.StringIO):
+    """A text file whose writes start failing after ``fail_after`` calls."""
+
+    def __init__(self, fail_after=0):
+        super().__init__()
+        self.writes = 0
+        self.fail_after = fail_after
+
+    def write(self, text):
+        self.writes += 1
+        if self.writes > self.fail_after:
+            raise OSError(28, "No space left on device")
+        return super().write(text)
+
+
+class TestJsonlHardening:
+    """I/O failure policy: never a partial line, never a corrupted run."""
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            JsonlSink(io.StringIO(), on_error="retry")
+
+    def test_raise_policy_propagates_and_disables(self):
+        target = FailingFile(fail_after=2)
+        sink = JsonlSink(target)  # meta line = write 1
+        sink.edge("vv", 0, 1, "added")  # write 2
+        with pytest.raises(OSError):
+            sink.edge("vv", 1, 2, "added")  # write 3 fails
+        assert sink.disabled
+        assert isinstance(sink.last_error, OSError)
+        # Once disabled, further events are dropped silently.
+        sink.edge("vv", 2, 3, "added")
+        assert target.writes == 3
+
+    def test_disable_policy_swallows_and_truncates(self):
+        target = FailingFile(fail_after=2)
+        sink = JsonlSink(target, on_error="disable")
+        sink.edge("vv", 0, 1, "added")
+        sink.edge("vv", 1, 2, "added")  # fails, swallowed
+        sink.edge("vv", 2, 3, "added")  # dropped
+        sink.close()
+        assert sink.disabled
+        assert sink.last_error is not None
+
+    def test_no_partial_lines_ever(self):
+        """Every line that reaches the file is complete, parseable JSON."""
+        target = FailingFile(fail_after=3)
+        sink = JsonlSink(target, on_error="disable")
+        for i in range(10):
+            sink.edge("vv", i, i + 1, "added")
+        sink.close()
+        content = target.getvalue()
+        assert content.endswith("\n")
+        for line in content.splitlines():
+            json.loads(line)  # must not raise
+
+    def test_disable_policy_run_completes(self):
+        """A dying trace target must not take the solve down with it."""
+        system = build_system()
+        sink = JsonlSink(FailingFile(fail_after=5), on_error="disable")
+        options = SolverOptions(form=GraphForm.INDUCTIVE,
+                                cycles=CyclePolicy.ONLINE, sink=sink)
+        solution = solve(system, options)
+        assert solution.ok
+        assert sink.disabled
+
+    def test_close_is_idempotent(self):
+        sink = JsonlSink(io.StringIO())
+        sink.close()
+        sink.close()  # must not raise
+
+    def test_failing_close_respects_policy(self):
+        class CloseFails(io.StringIO):
+            def flush(self):
+                raise OSError(5, "I/O error")
+
+        sink = JsonlSink(CloseFails(), on_error="disable")
+        sink.close()  # swallowed
+        assert sink.disabled
+        raising = JsonlSink(CloseFails())
+        with pytest.raises(OSError):
+            raising.close()
