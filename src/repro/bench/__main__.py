@@ -108,6 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "are unaffected, wall times carry the observation cost",
     )
     parser.add_argument(
+        "--metrics", metavar="DIR", default=None,
+        help="attach a MetricsSink to every run and write metrics.json "
+             "(snapshot) + metrics.prom (Prometheus text) into DIR; "
+             "counters are unaffected, wall times carry the "
+             "observation cost",
+    )
+    parser.add_argument(
         "--no-pin-hashseed", action="store_true",
         help="do not re-exec with PYTHONHASHSEED=0 (work counts of "
              "Online configurations then vary between processes)",
@@ -144,6 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=lambda line: print(line, flush=True),
             trace_dir=args.trace,
             timeout_seconds=args.timeout,
+            metrics_dir=args.metrics,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -155,6 +163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(render_report(report))
     if args.trace:
         print(f"\nwrote trace artifacts to {args.trace}/")
+    if args.metrics:
+        print(f"\nwrote metrics artifacts to {args.metrics}/")
     if not args.no_output:
         path = write_next_report(report, args.out)
         print(f"\nwrote {path}")

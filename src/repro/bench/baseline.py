@@ -19,6 +19,11 @@ from .harness import SCHEMA_VERSION, BenchReport
 #: Default committed baseline location, relative to the repo root.
 DEFAULT_BASELINE = os.path.join("benchmarks", "BASELINE.json")
 
+#: Schema versions :func:`load_report` accepts.  v1 reports predate the
+#: ``git_sha``/``timestamp`` provenance stamps; the loader defaults
+#: those fields so committed v1 baselines keep working unchanged.
+SUPPORTED_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
+
 _BENCH_FILE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -69,10 +74,11 @@ def load_report(path: str) -> BenchReport:
     if not isinstance(payload, dict):
         raise BaselineError(f"{path!r}: expected a JSON object")
     version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
         raise BaselineError(
-            f"{path!r}: schema_version {version!r} is not the supported "
-            f"{SCHEMA_VERSION}"
+            f"{path!r}: schema_version {version!r} is not a supported "
+            f"version ({supported})"
         )
     try:
         return BenchReport.from_dict(payload)

@@ -17,8 +17,10 @@ The report serializes to ``BENCH_<n>.json`` (see
 
 from __future__ import annotations
 
+import datetime
 import os
 import platform
+import subprocess
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
@@ -31,11 +33,41 @@ from ..workloads import suite
 from .measure import measure_system
 
 #: Format version of the serialized report; bump on breaking changes.
-SCHEMA_VERSION = 1
+#: v2 added the ``git_sha``/``timestamp`` provenance stamps so the
+#: dashboard can order a report trajectory without filename parsing;
+#: v1 reports still load (the stamps default to unknown/empty).
+SCHEMA_VERSION = 2
 
 #: The pinned smoke workload: small, seeded, fast enough for CI.
 SMOKE_SUITE = "quick"
 SMOKE_REPEATS = 3
+
+
+def detect_git_sha() -> str:
+    """The commit this run measures: ``$GITHUB_SHA`` or ``git rev-parse``.
+
+    Falls back to ``"unknown"`` outside a repository — provenance is
+    metadata, never a reason for a benchmark run to fail.
+    """
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else "unknown"
+
+
+def _utc_now() -> str:
+    """ISO-8601 UTC stamp; lexicographic order == chronological order."""
+    return datetime.datetime.now(datetime.timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    )
 
 
 class BenchTimeoutError(ReproError):
@@ -107,6 +139,10 @@ class BenchReport:
     hash_seed: str = field(
         default_factory=lambda: os.environ.get("PYTHONHASHSEED", "random")
     )
+    #: commit the run measured (schema v2; "unknown" on v1 reports)
+    git_sha: str = field(default_factory=detect_git_sha)
+    #: ISO-8601 UTC stamp of the run (schema v2; "" on v1 reports)
+    timestamp: str = field(default_factory=_utc_now)
 
     def key(self) -> Dict[Tuple[str, str], BenchRecord]:
         return {
@@ -127,11 +163,15 @@ class BenchReport:
             "experiments": list(self.experiments),
             "python_version": self.python_version,
             "hash_seed": self.hash_seed,
+            "git_sha": self.git_sha,
+            "timestamp": self.timestamp,
             "records": [record.to_dict() for record in self.records],
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BenchReport":
+        # v1 payloads predate the provenance stamps; default them
+        # rather than refusing — old baselines must keep loading.
         return cls(
             suite=payload["suite"],
             seed=int(payload["seed"]),
@@ -143,6 +183,8 @@ class BenchReport:
             schema_version=int(payload["schema_version"]),
             python_version=payload.get("python_version", "unknown"),
             hash_seed=str(payload.get("hash_seed", "random")),
+            git_sha=str(payload.get("git_sha", "unknown")),
+            timestamp=str(payload.get("timestamp", "")),
         )
 
 
@@ -155,6 +197,7 @@ def run_bench(
     progress: Optional[Callable[[str], None]] = None,
     trace_dir: Optional[str] = None,
     timeout_seconds: Optional[float] = None,
+    metrics_dir: Optional[str] = None,
 ) -> BenchReport:
     """Run the harness and return the report.
 
@@ -181,6 +224,14 @@ def run_bench(
     budget machinery; wall times carry a small polling cost, so
     timeout-bounded reports should not be promoted to timing baselines
     either.
+
+    ``metrics_dir`` attaches a :class:`repro.metrics.sink.MetricsSink`
+    (labeled with the suite, benchmark, form and mode of every run) to
+    a fresh :class:`~repro.metrics.registry.MetricsRegistry` and writes
+    ``metrics.json`` (a loadable snapshot) and ``metrics.prom``
+    (Prometheus text exposition) into that directory after the suite
+    completes.  The same observe-don't-steer contract applies: counters
+    in the report are unchanged, wall times carry the observation cost.
     """
     deadline = (
         None if timeout_seconds is None
@@ -196,6 +247,11 @@ def run_bench(
             raise KeyError(
                 f"benchmarks not in suite {suite_name!r}: {sorted(missing)}"
             )
+    metrics_registry = None
+    if metrics_dir is not None:
+        from ..metrics.registry import MetricsRegistry
+
+        metrics_registry = MetricsRegistry()
     telemetry: List[tuple] = []
     records: List[BenchRecord] = []
     for bench in selected:
@@ -219,6 +275,20 @@ def run_bench(
                 from ..trace.histogram import HistogramSink
 
                 sink = HistogramSink(label=f"{bench.name}/{label}")
+            if metrics_registry is not None:
+                from ..metrics.sink import MetricsSink
+                from ..trace.sinks import combine
+
+                metrics_sink = MetricsSink.for_options(
+                    options,
+                    registry=metrics_registry,
+                    suite=suite_name,
+                    benchmark=bench.name,
+                )
+                options = options.replace(
+                    sink=combine(sink, metrics_sink)
+                )
+            elif sink is not None:
                 options = options.replace(sink=sink)
             try:
                 measured = measure_system(system, options, repeats=repeats)
@@ -254,7 +324,28 @@ def run_bench(
     )
     if trace_dir is not None:
         _write_trace_outputs(report, telemetry, trace_dir)
+    if metrics_registry is not None and metrics_dir is not None:
+        _write_metrics_outputs(report, metrics_registry, metrics_dir)
     return report
+
+
+def _write_metrics_outputs(report: BenchReport, registry,
+                           metrics_dir: str) -> None:
+    """Write the --metrics artifacts: snapshot JSON + exposition text."""
+    os.makedirs(metrics_dir, exist_ok=True)
+    registry.flush_to(
+        os.path.join(metrics_dir, "metrics.json"),
+        meta={
+            "suite": report.suite,
+            "seed": report.seed,
+            "repeats": report.repeats,
+            "git_sha": report.git_sha,
+            "timestamp": report.timestamp,
+        },
+    )
+    prom_path = os.path.join(metrics_dir, "metrics.prom")
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(registry.expose())
 
 
 def _write_trace_outputs(report: BenchReport, telemetry: List[tuple],

@@ -103,12 +103,44 @@ class SolverStats:
             return 0.0
         return self.cycles_found / self.cycle_searches
 
+    @property
+    def visits_per_insertion(self) -> float:
+        """Cycle-search nodes visited per unit of Work.
+
+        Theorem 5.2 bounds the *per-search* visit count
+        (:attr:`mean_search_visits` ≈ 2.2); this amortizes the same
+        numerator over every attempted atomic edge addition (the Work
+        column of Tables 2 and 3) instead, so it reads as "how much
+        cycle-detection overhead does one insertion carry".  Plain and
+        Oracle configurations search nothing, so it is exactly 0 there.
+        """
+        if self.work == 0:
+            return 0.0
+        return self.cycle_search_visits / self.work
+
+    @property
+    def collapse_ratio(self) -> float:
+        """Mean variables eliminated per detected cycle.
+
+        Numerator is Table 3's Elim column (:attr:`vars_eliminated`);
+        denominator is the number of partial searches that hit
+        (:attr:`cycles_found`).  A ratio above 1 means detected cycles
+        collapse more than one variable each — the amplification behind
+        Figure 11's per-variable detection fractions exceeding the
+        per-search hit rate.
+        """
+        if self.cycles_found == 0:
+            return 0.0
+        return self.vars_eliminated / self.cycles_found
+
     #: ``as_dict`` keys that are derived properties, not stored fields.
     DERIVED_KEYS = (
         "final_edges",
         "total_seconds",
         "mean_search_visits",
         "detection_rate",
+        "visits_per_insertion",
+        "collapse_ratio",
     )
 
     def as_dict(self) -> Dict[str, float]:
@@ -138,6 +170,8 @@ class SolverStats:
             "total_seconds": self.total_seconds,
             "mean_search_visits": self.mean_search_visits,
             "detection_rate": self.detection_rate,
+            "visits_per_insertion": self.visits_per_insertion,
+            "collapse_ratio": self.collapse_ratio,
         }
 
     @classmethod

@@ -1,0 +1,179 @@
+"""Command-line entry point: ``python -m repro.metrics``.
+
+Typical uses::
+
+    # Serve a scrape endpoint over one or more metric snapshots (as
+    # written by `python -m repro.bench --metrics DIR` or a
+    # PeriodicFlusher); loading several snapshots aggregates them.
+    python -m repro.metrics serve --snapshot metrics-out/metrics.json
+
+    # Validate a Prometheus text dump (CI scrapes the endpoint into a
+    # file, then format-checks it with this).
+    python -m repro.metrics check scraped.prom
+
+    # Build the benchmark-trajectory dashboard from the committed
+    # baseline plus fresh BENCH reports and metric snapshots.
+    python -m repro.metrics dashboard \
+        --baseline benchmarks/BASELINE.json \
+        --reports BENCH_1.json BENCH_2.json \
+        --snapshots metrics-out/metrics.json --out dashboard.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .dashboard import build_dashboard
+from .exposition import validate_exposition
+from .registry import MetricsRegistry, default_registry
+from .server import serve
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.metrics",
+        description="aggregated solver metrics: exposition endpoint, "
+                    "format checker, and benchmark dashboard",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="expose a Prometheus /metrics endpoint",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=9464,
+        help="bind port (default 9464; 0 picks a free port)",
+    )
+    serve_cmd.add_argument(
+        "--snapshot", action="append", default=[], metavar="FILE",
+        help="load this metrics snapshot JSON into the served "
+             "registry (repeatable; snapshots aggregate)",
+    )
+
+    check = sub.add_parser(
+        "check", help="validate Prometheus text exposition format",
+    )
+    check.add_argument(
+        "path", help="file of exposition text ('-' for stdin)",
+    )
+
+    dashboard = sub.add_parser(
+        "dashboard", help="build the benchmark-trajectory dashboard",
+    )
+    dashboard.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="committed baseline report "
+             "(e.g. benchmarks/BASELINE.json)",
+    )
+    dashboard.add_argument(
+        "--reports", nargs="*", metavar="PATH", default=[],
+        help="BENCH_<n>.json reports to include, oldest first "
+             "(schema-v2 timestamps reorder them automatically)",
+    )
+    dashboard.add_argument(
+        "--snapshots", nargs="*", metavar="PATH", default=[],
+        help="repro.metrics snapshot JSONs to summarize",
+    )
+    dashboard.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="output HTML file",
+    )
+    dashboard.add_argument(
+        "--title", default="repro benchmark trajectory",
+        help="dashboard title",
+    )
+    dashboard.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit nonzero if any work-count regression is flagged",
+    )
+    return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.snapshot:
+        import json
+
+        registry = MetricsRegistry()
+        for path in args.snapshot:
+            with open(path, "r", encoding="utf-8") as handle:
+                registry.load_snapshot(json.load(handle))
+        print(f"loaded {len(args.snapshot)} snapshot(s)")
+    else:
+        registry = default_registry()
+    server = serve(registry, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving metrics on http://{host}:{port}/metrics",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    errors = validate_exposition(text)
+    if errors:
+        for error in errors:
+            print(f"INVALID {error}", file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"ok: valid exposition format ({samples} samples)")
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    if not args.baseline and not args.reports:
+        print("error: need --baseline and/or --reports",
+              file=sys.stderr)
+        return 2
+    data = build_dashboard(
+        args.baseline,
+        args.reports,
+        args.out,
+        snapshot_paths=args.snapshots,
+        title=args.title,
+    )
+    print(f"wrote {args.out} ({len(data.points)} report(s), "
+          f"{len(data.flags)} regression flag(s))")
+    for flag in data.flags:
+        print(f"REGRESSION {flag}")
+    for note in data.notes:
+        print(f"note: {note}")
+    if args.fail_on_regression and data.flags:
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

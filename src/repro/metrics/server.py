@@ -1,0 +1,85 @@
+"""A stdlib-only Prometheus scrape endpoint.
+
+``serve(registry)`` binds a :class:`ThreadingHTTPServer` whose
+``GET /metrics`` renders the registry's exposition text on demand —
+every scrape sees the current instrument values, including anything a
+:class:`~repro.metrics.registry.PeriodicFlusher` or live
+:class:`~repro.metrics.sink.MetricsSink` has accumulated since the
+last one.  No third-party dependency: the container bakes in only the
+standard library, and a scrape endpoint needs nothing more.
+
+The CLI front end is ``python -m repro.metrics serve``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from .exposition import CONTENT_TYPE
+from .registry import MetricsRegistry
+
+_INDEX = (
+    "repro.metrics exposition endpoint\n"
+    "\n"
+    "GET /metrics  Prometheus text format 0.0.4\n"
+)
+
+
+def _make_handler(registry: MetricsRegistry):
+    class MetricsHandler(BaseHTTPRequestHandler):
+        # One scrape per line in server logs is noise; stay quiet.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _send(self, status: int, content_type: str,
+                  body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self):
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                self._send(200, CONTENT_TYPE, registry.expose())
+            elif path in ("/", "/index.html"):
+                self._send(200, "text/plain; charset=utf-8", _INDEX)
+            else:
+                self._send(404, "text/plain; charset=utf-8",
+                           "not found\n")
+
+    return MetricsHandler
+
+
+def serve(registry: MetricsRegistry, host: str = "127.0.0.1",
+          port: int = 9464) -> ThreadingHTTPServer:
+    """Bind the endpoint; the caller decides how to run it.
+
+    ``port=0`` binds an ephemeral port (tests); read the actual address
+    back from ``server.server_address``.  Call ``serve_forever()`` to
+    block, or :func:`serve_in_thread` for a background server.
+    """
+    server = ThreadingHTTPServer((host, port), _make_handler(registry))
+    server.daemon_threads = True
+    return server
+
+
+def serve_in_thread(
+    registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0,
+) -> Tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the endpoint on a daemon thread; returns (server, thread).
+
+    Shut down with ``server.shutdown()`` followed by
+    ``server.server_close()``.
+    """
+    server = serve(registry, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics-http",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread

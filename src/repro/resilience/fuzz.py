@@ -326,6 +326,25 @@ def _config_for(index: int, seed: int, rng: random.Random) -> RandomSystemConfig
     return RandomSystemConfig(**shape)
 
 
+def _count_disagreement(label: str, kind: str) -> None:
+    """Bump the process-wide fuzz-disagreement counter.
+
+    Every confirmed differential failure is a defensibly rare event
+    worth surfacing on a dashboard, so it lands in the default
+    :mod:`repro.metrics` registry regardless of whether this process
+    wired up an explicit one.  No-op overhead when metrics are
+    disabled: only reached on an actual disagreement.
+    """
+    from ..metrics import default_registry
+
+    default_registry().counter(
+        "repro_fuzz_disagreements_total",
+        "Differential-fuzz disagreements found, by divergent "
+        "experiment label and failure kind.",
+        ("label", "kind"),
+    ).labels(label, kind).inc()
+
+
 def run_fuzz(
     count: int = 200,
     seed: int = 0,
@@ -361,6 +380,7 @@ def run_fuzz(
             )
             found = check_system(reproducer, labels=labels) or found
         label, kind, detail = found
+        _count_disagreement(label, kind)
         disagreement = FuzzDisagreement(
             seed=system_seed,
             label=label,

@@ -310,8 +310,11 @@ class SolverEngine:
 
     def _check_limits(self) -> bool:
         """Poll cancellation and budget; False means stop (partial)."""
+        sink = self.sink
         cancellation = self._cancellation
         if cancellation is not None and cancellation.cancelled:
+            if sink is not None:
+                sink.budget_stop("cancelled", 0.0, self.stats.work)
             if self._on_budget_partial:
                 self.status = SolveStatus.CANCELLED
                 return False
@@ -326,6 +329,8 @@ class SolverEngine:
             )
             if hit is not None:
                 reason, limit, value = hit
+                if sink is not None:
+                    sink.budget_stop(reason, limit, value)
                 if self._on_budget_partial:
                     self.status = SolveStatus.BUDGET_EXHAUSTED
                     return False

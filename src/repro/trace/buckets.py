@@ -1,0 +1,65 @@
+"""The one bucketing scheme shared by every histogram in the repo.
+
+Both :class:`repro.trace.histogram.OnlineHistogram` (the trace-side
+streaming histogram) and :class:`repro.metrics.instruments.Histogram`
+(the metrics-side instrument) bucket integer samples the same way:
+values below :data:`EXACT_LIMIT` are counted exactly, larger values
+fall into power-of-two buckets.  Keeping the scheme in one module means
+a trace histogram and a metrics histogram fed the same samples can
+never disagree about which bucket a value lands in — the bucket
+boundaries are definitionally identical, not merely coincidentally so.
+
+A bucket is identified by its *floor* (the smallest value it holds);
+:func:`bucket_ceiling` gives the largest.  For cumulative exposition
+(Prometheus ``le`` bounds) the ceiling doubles as the inclusive upper
+bound of the bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Values below this are counted in exact (width-1) buckets.
+EXACT_LIMIT = 16
+
+
+def bucket_floor(value: int) -> int:
+    """The lower bound of the bucket holding ``value``.
+
+    Exact below :data:`EXACT_LIMIT`; the largest power of two not
+    exceeding ``value`` above it.
+    """
+    if value < EXACT_LIMIT:
+        return value
+    return 1 << (value.bit_length() - 1)
+
+
+def bucket_ceiling(floor: int) -> int:
+    """The inclusive upper bound of the bucket whose floor is ``floor``."""
+    if floor < EXACT_LIMIT:
+        return floor
+    return floor * 2 - 1
+
+
+def bucket_rows(buckets: Dict[int, int]) -> List[Tuple[int, int, int]]:
+    """Sorted ``(lo, hi_inclusive, count)`` rows of a floor->count map."""
+    return [
+        (floor, bucket_ceiling(floor), buckets[floor])
+        for floor in sorted(buckets)
+    ]
+
+
+def cumulative_bounds(buckets: Dict[int, int]) -> List[Tuple[int, int]]:
+    """Sorted ``(le, cumulative_count)`` pairs for exposition formats.
+
+    ``le`` is the inclusive upper bound of each occupied bucket; counts
+    accumulate in bucket order, so the result is the Prometheus
+    ``_bucket`` series minus the ``+Inf`` row (whose value is the total
+    count and is appended by the renderer).
+    """
+    running = 0
+    rows: List[Tuple[int, int]] = []
+    for floor in sorted(buckets):
+        running += buckets[floor]
+        rows.append((bucket_ceiling(floor), running))
+    return rows

@@ -22,6 +22,8 @@ event                args
 ``phase.begin``      ``name`` ("closure"/"finalize"/"least-solution")
 ``phase.end``        ``name``
 ``audit.failure``    ``check``, ``subject`` (variable id), ``detail``
+``budget.stop``      ``reason`` ("work"/"deadline"/"edges"/"cancelled"),
+                     ``limit``, ``value``
 ===================  ==================================================
 
 ``edge`` outcomes follow the Work-metric accounting of
@@ -47,6 +49,7 @@ EV_SWEEP = "sweep"
 EV_PHASE_BEGIN = "phase.begin"
 EV_PHASE_END = "phase.end"
 EV_AUDIT = "audit.failure"
+EV_BUDGET_STOP = "budget.stop"
 
 #: Every event name, in documentation order.
 EVENT_NAMES = (
@@ -61,6 +64,7 @@ EVENT_NAMES = (
     EV_PHASE_BEGIN,
     EV_PHASE_END,
     EV_AUDIT,
+    EV_BUDGET_STOP,
 )
 
 #: Events that open/close a duration span in the Chrome trace export.

@@ -11,6 +11,11 @@ while adding O(1) work and O(log max) memory per stream.
 :class:`HistogramSink` is the trace sink that feeds these histograms
 from live solver events and also accumulates per-phase wall-time spans,
 so one cheap sink yields both the distribution telemetry and a profile.
+
+Bucket boundaries come from :mod:`repro.trace.buckets`, the scheme
+shared with :class:`repro.metrics.instruments.Histogram` — trace
+histograms and metrics histograms can never drift apart on where a
+sample lands.
 """
 
 from __future__ import annotations
@@ -18,17 +23,10 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from .buckets import EXACT_LIMIT, bucket_floor, bucket_rows
 from .sinks import TraceSink
 
-#: Values below this are counted in exact buckets.
-EXACT_LIMIT = 16
-
-
-def _bucket_floor(value: int) -> int:
-    """The lower bound of the bucket holding ``value``."""
-    if value < EXACT_LIMIT:
-        return value
-    return 1 << (value.bit_length() - 1)
+__all__ = ["EXACT_LIMIT", "HistogramSink", "OnlineHistogram"]
 
 
 class OnlineHistogram:
@@ -53,7 +51,7 @@ class OnlineHistogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        floor = _bucket_floor(value)
+        floor = bucket_floor(value)
         self.buckets[floor] = self.buckets.get(floor, 0) + count
 
     def merge(self, other: "OnlineHistogram") -> None:
@@ -77,11 +75,7 @@ class OnlineHistogram:
 
     def bucket_rows(self) -> List[Tuple[int, int, int]]:
         """Sorted ``(lo, hi_inclusive, count)`` rows for reporting."""
-        rows = []
-        for floor in sorted(self.buckets):
-            hi = floor if floor < EXACT_LIMIT else floor * 2 - 1
-            rows.append((floor, hi, self.buckets[floor]))
-        return rows
+        return bucket_rows(self.buckets)
 
     def percentile(self, fraction: float) -> int:
         """Upper bound of the bucket containing the given quantile.

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, TextIO
 
 from .events import (
     EV_AUDIT,
+    EV_BUDGET_STOP,
     EV_CLASH,
     EV_COLLAPSE,
     EV_EDGE,
@@ -86,6 +87,12 @@ class TraceSink:
         """The invariant auditor found a violation (an
         :class:`repro.resilience.audit.AuditFailure`); emitted for every
         failure of an audit pass before the engine raises."""
+
+    def budget_stop(self, reason: str, limit: float, value: float) -> None:
+        """The guarded drain stopped early: a budget dimension
+        (``"work"``/``"deadline"``/``"edges"``) hit ``limit`` at
+        ``value``, or the run was ``"cancelled"``.  Emitted before the
+        engine raises or returns a partial solution."""
 
     # -- phases ---------------------------------------------------------
     def phase_begin(self, name: str) -> None:
@@ -158,6 +165,9 @@ class CollectorSink(TraceSink):
             detail=getattr(failure, "detail", str(failure)),
         )
 
+    def budget_stop(self, reason, limit, value):
+        self._emit(EV_BUDGET_STOP, reason=reason, limit=limit, value=value)
+
     def phase_begin(self, name):
         self._emit(EV_PHASE_BEGIN, name=name)
 
@@ -206,6 +216,10 @@ class TeeSink(TraceSink):
     def audit_failure(self, failure):
         for sink in self.sinks:
             sink.audit_failure(failure)
+
+    def budget_stop(self, reason, limit, value):
+        for sink in self.sinks:
+            sink.budget_stop(reason, limit, value)
 
     def phase_begin(self, name):
         for sink in self.sinks:
@@ -346,6 +360,9 @@ class JsonlSink(TraceSink):
 
     def sweep(self, eliminated):
         self._emit(EV_SWEEP, eliminated=eliminated)
+
+    def budget_stop(self, reason, limit, value):
+        self._emit(EV_BUDGET_STOP, reason=reason, limit=limit, value=value)
 
     def phase_begin(self, name):
         self._emit(EV_PHASE_BEGIN, name=name)

@@ -22,7 +22,9 @@ class TestCli:
         report_path = tmp_path / "BENCH_1.json"
         assert report_path.exists()
         payload = json.loads(report_path.read_text(encoding="utf-8"))
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
+        assert payload["git_sha"]
+        assert payload["timestamp"]
         assert payload["records"], "report must contain records"
         for record in payload["records"]:
             assert record["counters"]["work"] > 0
@@ -58,6 +60,28 @@ class TestCli:
         payload["seed"] = 12345
         baseline.write_text(json.dumps(payload), encoding="utf-8")
         assert run_cli("--no-output", "--baseline", str(baseline)) == 2
+
+    def test_metrics_flag_writes_snapshot_and_exposition(
+            self, tmp_path, capsys):
+        metrics_dir = tmp_path / "metrics-out"
+        assert run_cli("--no-output", "--metrics", str(metrics_dir)) == 0
+        assert "wrote metrics artifacts" in capsys.readouterr().out
+
+        from repro.metrics import MetricsRegistry, validate_exposition
+
+        snapshot = json.loads(
+            (metrics_dir / "metrics.json").read_text(encoding="utf-8")
+        )
+        assert snapshot["meta"]["suite"] == "quick"
+        assert snapshot["meta"]["git_sha"]
+        registry = MetricsRegistry()
+        registry.load_snapshot(snapshot)
+        assert registry.collect()
+        exposition = (metrics_dir / "metrics.prom").read_text(
+            encoding="utf-8"
+        )
+        assert validate_exposition(exposition) == []
+        assert "repro_solver_edges_total" in exposition
 
     def test_unknown_experiment_label_exits_two(self, capsys):
         assert main(["--no-pin-hashseed", "--no-output",

@@ -101,6 +101,64 @@ class TestBaselineRoundTrip:
             load_report(str(path))
 
 
+class TestSchemaV2:
+    def test_fresh_report_carries_provenance(self, report):
+        assert report.schema_version == 2
+        assert report.git_sha
+        assert report.timestamp
+        payload = report.to_dict()
+        assert payload["git_sha"] == report.git_sha
+        assert payload["timestamp"] == report.timestamp
+
+    def test_timestamp_is_utc_iso8601(self, report):
+        import datetime
+
+        parsed = datetime.datetime.strptime(
+            report.timestamp, "%Y-%m-%dT%H:%M:%SZ"
+        )
+        assert parsed.year >= 2024
+
+    def test_v1_report_still_loads(self, report, tmp_path):
+        """Backward compatibility: v1 baselines predate the stamps."""
+        payload = report.to_dict()
+        payload["schema_version"] = 1
+        del payload["git_sha"]
+        del payload["timestamp"]
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = load_report(str(path))
+        assert loaded.schema_version == 1
+        assert loaded.git_sha == "unknown"
+        assert loaded.timestamp == ""
+
+    def test_v1_baseline_comparable_to_v2_report(self, report, tmp_path):
+        payload = report.to_dict()
+        payload["schema_version"] = 1
+        del payload["git_sha"]
+        del payload["timestamp"]
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        comparison = compare_reports(load_report(str(path)), report)
+        assert comparison.ok
+
+    def test_committed_baseline_loads(self):
+        import os
+
+        repo = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        ))
+        baseline = load_report(
+            os.path.join(repo, "benchmarks", "BASELINE.json")
+        )
+        assert baseline.records
+
+    def test_detect_git_sha_fallback(self, monkeypatch):
+        from repro.bench.harness import detect_git_sha
+
+        monkeypatch.setenv("GITHUB_SHA", "deadbeef123")
+        assert detect_git_sha() == "deadbeef123"
+
+
 class TestCompare:
     def test_injected_work_regression_fails(self, report):
         baseline = BenchReport.from_dict(report.to_dict())

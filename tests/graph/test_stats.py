@@ -37,3 +37,50 @@ class TestSolverStats:
         assert stats.redundant == 0
         assert stats.cycles_found == 0
         assert stats.vars_eliminated == 0
+
+    def test_visits_per_insertion(self):
+        stats = SolverStats()
+        stats.work = 200
+        stats.cycle_search_visits = 50
+        assert stats.visits_per_insertion == 0.25
+
+    def test_visits_per_insertion_zero_work(self):
+        assert SolverStats().visits_per_insertion == 0.0
+
+    def test_collapse_ratio(self):
+        stats = SolverStats()
+        stats.cycles_found = 4
+        stats.vars_eliminated = 10
+        assert stats.collapse_ratio == 2.5
+
+    def test_collapse_ratio_zero_cycles(self):
+        assert SolverStats().collapse_ratio == 0.0
+
+    def test_derived_keys_in_as_dict(self):
+        d = SolverStats().as_dict()
+        for key in SolverStats.DERIVED_KEYS:
+            assert key in d
+
+    def test_from_dict_round_trip(self):
+        stats = SolverStats()
+        stats.work = 123
+        stats.redundant = 7
+        stats.cycle_searches = 10
+        stats.cycle_search_visits = 22
+        stats.cycles_found = 4
+        stats.vars_eliminated = 9
+        stats.closure_seconds = 0.25
+        stats.finalize_edges(30, 8, 5)
+        rebuilt = SolverStats.from_dict(stats.as_dict())
+        assert rebuilt.as_dict() == stats.as_dict()
+        # Derived values are recomputed, not stored.
+        assert rebuilt.visits_per_insertion == stats.visits_per_insertion
+        assert rebuilt.collapse_ratio == stats.collapse_ratio
+
+    def test_from_dict_rejects_unknown_keys(self):
+        import pytest
+
+        payload = SolverStats().as_dict()
+        payload["not_a_counter"] = 1
+        with pytest.raises(KeyError):
+            SolverStats.from_dict(payload)

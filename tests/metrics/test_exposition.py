@@ -1,0 +1,88 @@
+"""Prometheus text rendering and the format validator."""
+
+from repro.metrics import MetricsRegistry, validate_exposition
+from repro.metrics.exposition import CONTENT_TYPE, render
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "c_total", "a counter", ("form",)
+    ).labels("standard").inc(3)
+    registry.gauge("g", "a gauge").labels().set(2.5)
+    hist = registry.histogram("h", "a histogram").labels()
+    hist.observe(1)
+    hist.observe(17)
+    hist.observe(300)
+    return registry
+
+
+class TestRender:
+    def test_help_and_type_headers(self):
+        text = build_registry().expose()
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert "# TYPE h histogram" in text
+
+    def test_counter_sample_with_labels(self):
+        text = build_registry().expose()
+        assert 'c_total{form="standard"} 3' in text
+
+    def test_histogram_expansion(self):
+        text = build_registry().expose()
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_sum 318" in text
+        assert "h_count 3" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ("k",)).labels(
+            'quo"te\\and\nnewline'
+        ).inc()
+        text = registry.expose()
+        assert '\\"' in text
+        assert "\\n" in text
+        assert validate_exposition(text) == []
+
+    def test_content_type_pins_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_empty_registry_renders_empty(self):
+        assert render([]) == ""
+
+
+class TestValidator:
+    def test_rendered_output_is_valid(self):
+        assert validate_exposition(build_registry().expose()) == []
+
+    def test_sample_without_type_flagged(self):
+        errors = validate_exposition("no_type_metric 1\n")
+        assert errors
+
+    def test_bad_value_flagged(self):
+        text = "# TYPE x counter\nx not_a_number\n"
+        assert validate_exposition(text)
+
+    def test_non_cumulative_histogram_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 9\n"
+            "h_count 5\n"
+        )
+        assert validate_exposition(text)
+
+    def test_missing_inf_bucket_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_sum 5\n"
+            "h_count 5\n"
+        )
+        assert validate_exposition(text)
+
+    def test_duplicate_type_flagged(self):
+        text = "# TYPE x counter\n# TYPE x counter\nx 1\n"
+        assert validate_exposition(text)

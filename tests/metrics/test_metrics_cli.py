@@ -1,0 +1,77 @@
+"""Exit-code contract of ``python -m repro.metrics``."""
+
+import json
+import os
+
+from repro.metrics import MetricsRegistry
+from repro.metrics.__main__ import main
+
+REPO = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+BASELINE = os.path.join(REPO, "benchmarks", "BASELINE.json")
+
+
+def write_exposition(tmp_path, text):
+    path = tmp_path / "metrics.prom"
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help").labels().inc()
+        path = write_exposition(tmp_path, registry.expose())
+        assert main(["check", path]) == 0
+        assert "ok: valid exposition" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        path = write_exposition(tmp_path, "no_type 1\nbroken{ 2\n")
+        assert main(["check", path]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestDashboard:
+    def test_builds_html(self, tmp_path, capsys):
+        out = str(tmp_path / "dash.html")
+        assert main(["dashboard", "--baseline", BASELINE,
+                     "--out", out]) == 0
+        assert os.path.exists(out)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_fail_on_regression(self, tmp_path):
+        with open(BASELINE, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["records"][0]["counters"]["work"] += 1000
+        fresh = tmp_path / "BENCH_1.json"
+        fresh.write_text(json.dumps(payload), encoding="utf-8")
+        out = str(tmp_path / "dash.html")
+        assert main(["dashboard", "--baseline", BASELINE,
+                     "--reports", str(fresh), "--out", out,
+                     "--fail-on-regression"]) == 1
+        assert os.path.exists(out)
+
+    def test_no_inputs_exits_two(self, tmp_path, capsys):
+        assert main(["dashboard", "--out",
+                     str(tmp_path / "x.html")]) == 2
+        assert "need --baseline" in capsys.readouterr().err
+
+    def test_snapshot_section(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_solver_edges_total", "help", ("form",)
+        ).labels("SF").inc(7)
+        snap = str(tmp_path / "snap.json")
+        registry.flush_to(snap)
+        out = str(tmp_path / "dash.html")
+        assert main(["dashboard", "--baseline", BASELINE,
+                     "--snapshots", snap, "--out", out]) == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            assert "repro_solver_edges_total" in handle.read()
+
+
+class TestNoCommand:
+    def test_help_exit_code(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()

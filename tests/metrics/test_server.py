@@ -1,0 +1,57 @@
+"""The stdlib HTTP scrape endpoint."""
+
+import urllib.error
+import urllib.request
+
+from repro.metrics import (
+    MetricsRegistry,
+    serve_in_thread,
+    validate_exposition,
+)
+
+
+def scrape(server, path="/metrics"):
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return (response.status, dict(response.headers),
+                    response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestServer:
+    def setup_method(self):
+        self.registry = MetricsRegistry()
+        self.registry.counter(
+            "c_total", "a counter", ("k",)
+        ).labels("v").inc(4)
+        self.server, self.thread = serve_in_thread(self.registry)
+
+    def teardown_method(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+    def test_scrape_is_valid_exposition(self):
+        status, headers, body = scrape(self.server)
+        assert status == 200
+        assert "version=0.0.4" in headers["Content-Type"]
+        text = body.decode("utf-8")
+        assert validate_exposition(text) == []
+        assert 'c_total{k="v"} 4' in text
+
+    def test_scrape_sees_live_updates(self):
+        self.registry.counter("c_total", "a counter", ("k",)) \
+            .labels("v").inc()
+        _, _, body = scrape(self.server)
+        assert 'c_total{k="v"} 5' in body.decode("utf-8")
+
+    def test_index_page(self):
+        status, _, body = scrape(self.server, "/")
+        assert status == 200
+        assert b"/metrics" in body
+
+    def test_unknown_path_404(self):
+        status, _, _ = scrape(self.server, "/nope")
+        assert status == 404
