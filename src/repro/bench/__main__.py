@@ -33,6 +33,7 @@ from .baseline import (
     write_next_report,
     write_report,
 )
+from ..parallel.pool import ParallelError
 from .compare import IncomparableReportsError, compare_reports
 from .harness import (
     BenchTimeoutError,
@@ -115,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "observation cost",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard (benchmark, experiment) pairs across N worker "
+             "processes (0 = one per core; default 1 = serial); "
+             "deterministic report fields are byte-identical to a "
+             "serial run",
+    )
+    parser.add_argument(
         "--no-pin-hashseed", action="store_true",
         help="do not re-exec with PYTHONHASHSEED=0 (work counts of "
              "Online configurations then vary between processes)",
@@ -152,6 +160,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_dir=args.trace,
             timeout_seconds=args.timeout,
             metrics_dir=args.metrics,
+            jobs=args.jobs,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -159,6 +168,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BenchTimeoutError as error:
         print(f"timeout: {error}", file=sys.stderr)
         return 3
+    except ParallelError as error:
+        print(f"parallel run failed: {error}", file=sys.stderr)
+        return 2
     print()
     print(render_report(report))
     if args.trace:

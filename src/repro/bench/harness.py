@@ -198,6 +198,7 @@ def run_bench(
     trace_dir: Optional[str] = None,
     timeout_seconds: Optional[float] = None,
     metrics_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> BenchReport:
     """Run the harness and return the report.
 
@@ -232,21 +233,36 @@ def run_bench(
     (Prometheus text exposition) into that directory after the suite
     completes.  The same observe-don't-steer contract applies: counters
     in the report are unchanged, wall times carry the observation cost.
+
+    ``jobs > 1`` shards the (benchmark, experiment) pairs across a
+    :mod:`repro.parallel` worker pool (``jobs <= 0`` means one worker
+    per core).  The report's deterministic fields are byte-identical to
+    a serial run — results merge in task submission order and every
+    worker pins ``PYTHONHASHSEED`` — and only ``wall_times`` /
+    ``median_seconds`` / ``timestamp`` differ.  ``timeout_seconds``
+    then bounds the whole run *and* each individual solve (crashed or
+    hung workers are retried once, then reported); trace and metrics
+    artifacts are merged across workers in the same task order.
     """
+    if jobs != 1:
+        return _run_bench_parallel(
+            suite_name=suite_name,
+            experiments=experiments,
+            seed=seed,
+            repeats=repeats,
+            benchmarks=benchmarks,
+            progress=progress,
+            trace_dir=trace_dir,
+            timeout_seconds=timeout_seconds,
+            metrics_dir=metrics_dir,
+            jobs=jobs,
+        )
     deadline = (
         None if timeout_seconds is None
         else time.perf_counter() + timeout_seconds
     )
     labels = list(experiments) if experiments else list(EXPERIMENT_LABELS)
-    selected = suite(suite_name)
-    if benchmarks is not None:
-        wanted = set(benchmarks)
-        selected = [bench for bench in selected if bench.name in wanted]
-        missing = wanted - {bench.name for bench in selected}
-        if missing:
-            raise KeyError(
-                f"benchmarks not in suite {suite_name!r}: {sorted(missing)}"
-            )
+    selected = _select_benchmarks(suite_name, benchmarks)
     metrics_registry = None
     if metrics_dir is not None:
         from ..metrics.registry import MetricsRegistry
@@ -300,7 +316,9 @@ def run_bench(
                     completed=len(records),
                 ) from error
             if sink is not None:
-                telemetry.append((bench.name, label, sink))
+                telemetry.append(
+                    (bench.name, label, sink.summary(), sink.spans)
+                )
             records.append(
                 BenchRecord(
                     benchmark=bench.name,
@@ -329,6 +347,159 @@ def run_bench(
     return report
 
 
+def _select_benchmarks(suite_name: str,
+                       benchmarks: Optional[Iterable[str]]) -> list:
+    """The suite's benchmark list, optionally restricted by name."""
+    selected = suite(suite_name)
+    if benchmarks is not None:
+        wanted = set(benchmarks)
+        selected = [bench for bench in selected if bench.name in wanted]
+        missing = wanted - {bench.name for bench in selected}
+        if missing:
+            raise KeyError(
+                f"benchmarks not in suite {suite_name!r}: {sorted(missing)}"
+            )
+    return selected
+
+
+def _run_bench_parallel(
+    suite_name: str,
+    experiments: Optional[Iterable[str]],
+    seed: int,
+    repeats: int,
+    benchmarks: Optional[Iterable[str]],
+    progress: Optional[Callable[[str], None]],
+    trace_dir: Optional[str],
+    timeout_seconds: Optional[float],
+    metrics_dir: Optional[str],
+    jobs: int,
+) -> BenchReport:
+    """The ``jobs != 1`` harness path: shard pairs over a worker pool.
+
+    One task per (benchmark, experiment) pair, merged back in task
+    submission order — the serial loop's order — so the report's
+    deterministic fields cannot depend on worker scheduling.
+    """
+    from ..parallel.pool import TaskSpec, run_tasks
+    from ..parallel.tasks import bench_task
+
+    labels = list(experiments) if experiments else list(EXPERIMENT_LABELS)
+    selected = _select_benchmarks(suite_name, benchmarks)
+    tasks = [
+        TaskSpec(
+            key=f"{bench.name}/{label}",
+            payload={
+                "suite": suite_name,
+                "benchmark": bench.name,
+                "experiment": label,
+                "seed": seed,
+                "repeats": repeats,
+                "trace": trace_dir is not None,
+                "metrics": metrics_dir is not None,
+                "budget_seconds": timeout_seconds,
+            },
+            timeout=timeout_seconds,
+        )
+        for bench in selected
+        for label in labels
+    ]
+
+    def report_progress(result) -> None:
+        if progress is None:
+            return
+        if result.ok and result.value.get("status") == "ok":
+            counters = result.value["counters"]
+            times = sorted(result.value["wall_times"])
+            mid = len(times) // 2
+            median = (
+                times[mid] if len(times) % 2
+                else (times[mid - 1] + times[mid]) / 2
+            )
+            name, label = result.key.split("/", 1)
+            progress(
+                f"{name:<14} {label:<10} "
+                f"work={counters['work']:>9} "
+                f"median={median * 1000:8.1f}ms"
+            )
+        else:
+            progress(f"{result.key}: FAILED ({result.kind})")
+
+    results = run_tasks(
+        bench_task,
+        tasks,
+        jobs=jobs,
+        retries=1,
+        progress=report_progress,
+        overall_timeout=timeout_seconds,
+    )
+    completed = sum(
+        1 for result in results
+        if result.ok and result.value.get("status") == "ok"
+    )
+    timeouts = [
+        result for result in results
+        if (result.ok and result.value.get("status") == "timeout")
+        or (not result.ok and result.kind == "timeout")
+    ]
+    if timeouts:
+        first = timeouts[0]
+        detail = (
+            first.value["detail"] if first.ok else first.error
+        )
+        raise BenchTimeoutError(
+            f"suite {suite_name!r} exceeded its "
+            f"{timeout_seconds:.0f}s timeout inside {first.key}: "
+            f"{detail}",
+            completed=completed,
+        )
+    from ..parallel.pool import require_ok
+
+    require_ok(results)
+
+    records = []
+    telemetry: List[tuple] = []
+    metrics_snapshots: List[dict] = []
+    for spec, result in zip(tasks, results):
+        value = result.value
+        name = spec.payload["benchmark"]
+        label = spec.payload["experiment"]
+        records.append(
+            BenchRecord(
+                benchmark=name,
+                experiment=label,
+                counters={
+                    key: int(count)
+                    for key, count in value["counters"].items()
+                },
+                wall_times=[float(t) for t in value["wall_times"]],
+            )
+        )
+        if value.get("telemetry") is not None:
+            telemetry.append((
+                name,
+                label,
+                value["telemetry"]["summary"],
+                value["telemetry"]["spans"],
+            ))
+        if value.get("metrics") is not None:
+            metrics_snapshots.append(value["metrics"])
+    report = BenchReport(
+        suite=suite_name,
+        seed=seed,
+        repeats=repeats,
+        experiments=labels,
+        records=records,
+    )
+    if trace_dir is not None:
+        _write_trace_outputs(report, telemetry, trace_dir)
+    if metrics_dir is not None:
+        from ..parallel.merge import merge_metrics_snapshots
+
+        registry = merge_metrics_snapshots(metrics_snapshots)
+        _write_metrics_outputs(report, registry, metrics_dir)
+    return report
+
+
 def _write_metrics_outputs(report: BenchReport, registry,
                            metrics_dir: str) -> None:
     """Write the --metrics artifacts: snapshot JSON + exposition text."""
@@ -350,7 +521,15 @@ def _write_metrics_outputs(report: BenchReport, registry,
 
 def _write_trace_outputs(report: BenchReport, telemetry: List[tuple],
                          trace_dir: str) -> None:
-    """Write the --trace artifacts: telemetry summary + Chrome spans."""
+    """Write the --trace artifacts: telemetry summary + Chrome spans.
+
+    ``telemetry`` holds ``(benchmark, experiment, summary, spans)``
+    tuples — already-serialized sink state, so the same writer serves
+    the serial path (live sinks, drained in place) and the parallel
+    path (sink state shipped back from workers over a pipe).  Span
+    times are ``perf_counter`` readings, which on this platform are
+    CLOCK_MONOTONIC and therefore comparable across processes.
+    """
     import json
 
     from ..trace.chrome import chrome_document, spans_to_chrome, write_chrome
@@ -362,8 +541,8 @@ def _write_trace_outputs(report: BenchReport, telemetry: List[tuple],
         "repeats": report.repeats,
         "runs": [
             {"benchmark": name, "experiment": label,
-             "telemetry": sink.summary()}
-            for name, label, sink in telemetry
+             "telemetry": run_summary}
+            for name, label, run_summary, _ in telemetry
         ],
     }
     summary_path = os.path.join(trace_dir, "trace_summary.json")
@@ -371,13 +550,13 @@ def _write_trace_outputs(report: BenchReport, telemetry: List[tuple],
         json.dump(summary, handle, indent=2)
         handle.write("\n")
     all_spans = [
-        span for _, _, sink in telemetry for span in sink.spans
+        span for _, _, _, spans in telemetry for span in spans
     ]
     origin = min((span[1] for span in all_spans), default=0.0)
     events: List[dict] = []
-    for tid, (name, label, sink) in enumerate(telemetry, start=1):
+    for tid, (name, label, _, spans) in enumerate(telemetry, start=1):
         events.extend(spans_to_chrome(
-            sink.spans,
+            spans,
             pid=1,
             tid=tid,
             process_name=f"repro.bench suite={report.suite}",
@@ -411,7 +590,8 @@ def render_report(report: BenchReport) -> str:
     return "\n".join(lines)
 
 
-def suite_results(which: str = "medium", seed: int = 0, repeats: int = 1):
+def suite_results(which: str = "medium", seed: int = 0, repeats: int = 1,
+                  jobs: int = 1):
     """Construct the experiment runner used by the benchmark scripts.
 
     The pytest benchmark scripts under ``benchmarks/`` build their
@@ -422,7 +602,8 @@ def suite_results(which: str = "medium", seed: int = 0, repeats: int = 1):
     """
     from ..experiments.runner import SuiteResults
 
-    return SuiteResults.for_suite(which, seed=seed, repeats=repeats)
+    return SuiteResults.for_suite(which, seed=seed, repeats=repeats,
+                                  jobs=jobs)
 
 
 def bench_once(benchmark, func):

@@ -307,3 +307,14 @@ class ConstraintGraphBase:
 
     def representatives(self) -> List[int]:
         return [rep for rep in self.unionfind.representatives()]
+
+    def compute_least_solution(self):
+        """``LS`` for every representative; implemented per graph form.
+
+        Standard form reads it off the explicit source buckets
+        (canonicalized through ``find``); inductive form evaluates
+        equation (1) in rank order.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not compute least solutions"
+        )

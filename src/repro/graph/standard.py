@@ -18,6 +18,8 @@ restriction.
 
 from __future__ import annotations
 
+from typing import Dict, FrozenSet
+
 from ..constraints.expressions import Term
 from .base import (
     ConstraintGraphBase,
@@ -133,3 +135,30 @@ class StandardGraph(ConstraintGraphBase):
     # ------------------------------------------------------------------
     def least_solution_of(self, var_index: int) -> frozenset:
         return frozenset(self.sources[self.find(var_index)])
+
+    def compute_least_solution(self) -> Dict[int, FrozenSet[Term]]:
+        """``LS`` for every representative — explicit in standard form.
+
+        Canonicalized through ``find``: source terms are accumulated
+        from *every* variable's bucket onto its representative, not
+        read off ``sources[rep]`` alone, so the result is correct even
+        if a collapse has absorbed a source-carrying vertex whose
+        bucket migration is still pending on the worklist (``_absorb``
+        re-emits absorbed sources as worklist operations rather than
+        moving them synchronously).  Pure read — no counters or
+        journals are touched.
+        """
+        find = self.find
+        sources = self.sources
+        merged: Dict[int, set] = {
+            rep: set()
+            for rep in self.unionfind.representatives()
+            if rep < self.num_vars
+        }
+        for index in range(self.num_vars):
+            bucket = sources[index]
+            if bucket:
+                merged[find(index)].update(bucket)
+        return {
+            rep: frozenset(terms) for rep, terms in merged.items()
+        }

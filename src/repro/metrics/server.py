@@ -13,9 +13,11 @@ The CLI front end is ``python -m repro.metrics serve``.
 
 from __future__ import annotations
 
+import sys
 import threading
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 from .exposition import CONTENT_TYPE
 from .registry import MetricsRegistry
@@ -27,7 +29,9 @@ _INDEX = (
 )
 
 
-def _make_handler(registry: MetricsRegistry):
+def _make_handler(registry: MetricsRegistry,
+                  error_hook: Optional[Callable[[BaseException],
+                                                None]] = None):
     class MetricsHandler(BaseHTTPRequestHandler):
         # One scrape per line in server logs is noise; stay quiet.
         def log_message(self, format, *args):  # noqa: A002
@@ -42,10 +46,34 @@ def _make_handler(registry: MetricsRegistry):
             self.end_headers()
             self.wfile.write(payload)
 
+        def _report_error(self, error: BaseException) -> None:
+            # A failing exposition must be *loud* somewhere the
+            # operator looks: the hook if one was installed, stderr
+            # otherwise — never silently dropped (scrapers retry
+            # forever against a quietly broken endpoint).
+            if error_hook is not None:
+                error_hook(error)
+            else:
+                print(
+                    f"repro.metrics: exposition failed: {error}",
+                    file=sys.stderr,
+                )
+                traceback.print_exc(file=sys.stderr)
+
         def do_GET(self):
             path = self.path.split("?", 1)[0]
             if path == "/metrics":
-                self._send(200, CONTENT_TYPE, registry.expose())
+                try:
+                    body = registry.expose()
+                except Exception as error:
+                    self._report_error(error)
+                    self._send(
+                        500, "text/plain; charset=utf-8",
+                        f"exposition failed: "
+                        f"{type(error).__name__}: {error}\n",
+                    )
+                    return
+                self._send(200, CONTENT_TYPE, body)
             elif path in ("/", "/index.html"):
                 self._send(200, "text/plain; charset=utf-8", _INDEX)
             else:
@@ -56,27 +84,36 @@ def _make_handler(registry: MetricsRegistry):
 
 
 def serve(registry: MetricsRegistry, host: str = "127.0.0.1",
-          port: int = 9464) -> ThreadingHTTPServer:
+          port: int = 9464,
+          error_hook: Optional[Callable[[BaseException], None]] = None,
+          ) -> ThreadingHTTPServer:
     """Bind the endpoint; the caller decides how to run it.
 
     ``port=0`` binds an ephemeral port (tests); read the actual address
     back from ``server.server_address``.  Call ``serve_forever()`` to
     block, or :func:`serve_in_thread` for a background server.
+
+    A raising exposition answers the scrape with HTTP 500 (body names
+    the exception) and reports the error through ``error_hook`` — or,
+    without one, to stderr with a traceback.
     """
-    server = ThreadingHTTPServer((host, port), _make_handler(registry))
+    server = ThreadingHTTPServer(
+        (host, port), _make_handler(registry, error_hook)
+    )
     server.daemon_threads = True
     return server
 
 
 def serve_in_thread(
     registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0,
+    error_hook: Optional[Callable[[BaseException], None]] = None,
 ) -> Tuple[ThreadingHTTPServer, threading.Thread]:
     """Start the endpoint on a daemon thread; returns (server, thread).
 
     Shut down with ``server.shutdown()`` followed by
     ``server.server_close()``.
     """
-    server = serve(registry, host, port)
+    server = serve(registry, host, port, error_hook=error_hook)
     thread = threading.Thread(
         target=server.serve_forever, name="repro-metrics-http",
         daemon=True,

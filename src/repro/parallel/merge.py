@@ -1,0 +1,90 @@
+"""Deterministic merging of per-worker observability artifacts.
+
+Parallel runs produce one metrics snapshot and one JSONL trace stream
+*per worker*; these helpers fold them back into the single artifacts a
+serial run would have written, always in **task submission order** so
+the merged output is reproducible regardless of which worker finished
+first.
+
+* Metrics merge rides the registry's existing accumulate-on-load path:
+  :meth:`~repro.metrics.registry.MetricsRegistry.load_snapshot` sums
+  counter values and histogram buckets and overwrites gauges, so
+  loading every worker snapshot into one fresh registry *is* the merge.
+* JSONL traces are event streams whose per-run internal order matters
+  (a ``span_begin`` precedes its ``span_end``); concatenating whole
+  per-task streams in task order preserves that while producing one
+  ordered stream for ``repro.trace convert``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+class MergeError(ReproError):
+    """A per-worker artifact could not be merged."""
+
+
+def merge_metrics_snapshots(snapshots: Iterable[dict], registry=None):
+    """Fold worker snapshots into one registry (accumulate-on-load).
+
+    ``registry`` defaults to a fresh
+    :class:`~repro.metrics.registry.MetricsRegistry`; pass an existing
+    one to accumulate on top of prior state.  Returns the registry.
+    """
+    if registry is None:
+        from ..metrics.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot:
+            registry.load_snapshot(snapshot)
+    return registry
+
+
+def merge_jsonl_traces(
+    paths: Sequence[str],
+    out_path: str,
+    schema_line: bool = True,
+) -> int:
+    """Concatenate per-worker JSONL trace files into one ordered stream.
+
+    ``paths`` must already be in task submission order.  Every line is
+    parsed (a torn line raises :class:`MergeError` naming the file and
+    line number — a corrupt merge input must not produce a silently
+    truncated merged stream); duplicate schema header lines (``{"ev":
+    "meta", "schema": 1}``, the first line
+    :class:`~repro.trace.sinks.JsonlSink` writes) are collapsed into
+    the single leading one when ``schema_line`` is true.  Returns the
+    number of event lines written.
+    """
+    events: List[str] = []
+    header: Optional[str] = None
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as error:
+                    raise MergeError(
+                        f"{path}:{number}: not a JSON record: {error}"
+                    ) from error
+                if schema_line and isinstance(record, dict) \
+                        and record.get("ev") == "meta" \
+                        and "schema" in record:
+                    if header is None:
+                        header = line
+                    continue
+                events.append(line)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        if header is not None:
+            handle.write(header + "\n")
+        for line in events:
+            handle.write(line + "\n")
+    return len(events)

@@ -1,0 +1,330 @@
+"""A deterministic multiprocessing worker pool.
+
+The paper's evaluation is embarrassingly parallel: every (system,
+configuration) pair is an independent solve.  :func:`run_tasks` shards
+such tasks across processes while keeping the properties the rest of
+the repo depends on:
+
+* **Determinism.**  Results are returned in *task submission order*,
+  never completion order, so a parallel run assembles the exact same
+  report a serial loop would.  ``PYTHONHASHSEED`` is pinned to ``0``
+  for child interpreters unless the environment already pins it —
+  work counts of the Online configurations are exact cross-process
+  oracles only under a pinned hash seed (see :mod:`repro.bench`).
+* **Crash isolation.**  Each in-flight task runs in its own process;
+  a worker dying (segfault, OOM-kill) cannot poison a shared pool.
+  Crashes and per-task timeouts are retried up to ``retries`` times
+  and then reported as a failed :class:`TaskResult` *with a cause* —
+  the pool never hangs on a dead child.
+* **Deterministic failures fail fast.**  A worker that raises a Python
+  exception reports the traceback and is *not* retried: the same
+  inputs would raise again, so retrying only burns CPU.
+
+Workers communicate over a per-task ``Pipe``; the parent multiplexes
+pipes and process sentinels through :func:`multiprocessing.connection.wait`,
+so a result message and a silent death are both wake-up events.
+
+This module is deliberately generic — the bench / fuzz / suite worker
+functions live in :mod:`repro.parallel.tasks`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+
+#: Grace period between ``terminate()`` and ``kill()`` on timeout.
+_TERMINATE_GRACE_SECONDS = 2.0
+
+#: How long one ``connection.wait`` multiplex blocks at most.
+_WAIT_SECONDS = 0.1
+
+
+class ParallelError(ReproError):
+    """A parallel run could not produce a complete result set."""
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0`` (auto): one per available core."""
+    return os.cpu_count() or 1
+
+
+def default_start_method() -> str:
+    """``fork`` where available (fast, inherits the pinned hash seed),
+    else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: a key (for reporting), a picklable payload,
+    and an optional per-task wall-clock timeout in seconds."""
+
+    key: str
+    payload: Any = None
+    timeout: Optional[float] = None
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task, in submission order.
+
+    ``kind`` is ``None`` on success, else one of ``"exception"`` (the
+    worker raised — deterministic, not retried), ``"crash"`` (the
+    worker process died without reporting), or ``"timeout"`` (the task
+    or the whole run exceeded its deadline); crash and timeout failures
+    are only reported after ``retries`` re-runs.
+    """
+
+    key: str
+    value: Any = None
+    error: Optional[str] = None
+    kind: Optional[str] = None
+    attempts: int = 1
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _child_main(worker, payload, conn) -> None:
+    """Child entry point: run the worker, report over the pipe.
+
+    Any raised exception is *reported* (with its traceback) rather than
+    allowed to kill the child noisily — the parent distinguishes a
+    deterministic failure from a crash by whether a report arrived.
+    """
+    try:
+        value = worker(payload)
+    except BaseException:
+        conn.send(("exception", traceback.format_exc()))
+    else:
+        conn.send(("ok", value))
+    finally:
+        conn.close()
+
+
+class _Running:
+    """Book-keeping for one in-flight task."""
+
+    __slots__ = ("index", "attempt", "process", "conn", "started",
+                 "deadline")
+
+    def __init__(self, index, attempt, process, conn, started, deadline):
+        self.index = index
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.started = started
+        self.deadline = deadline
+
+
+def _pin_hash_seed() -> None:
+    """Pin ``PYTHONHASHSEED=0`` for child interpreters.
+
+    Work counts of the Online configurations hash-partition sets, so a
+    spawn-started child with a random hash seed would disagree with the
+    parent.  Setting the variable here only affects interpreters
+    started afterwards; fork children inherit the parent's (already
+    initialized) hash state either way.
+    """
+    if os.environ.get("PYTHONHASHSEED") is None:
+        os.environ["PYTHONHASHSEED"] = "0"
+
+
+def run_tasks(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[TaskSpec],
+    jobs: Optional[int] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[TaskResult], None]] = None,
+    start_method: Optional[str] = None,
+    overall_timeout: Optional[float] = None,
+    pin_hash_seed: bool = True,
+) -> List[TaskResult]:
+    """Run every task through ``worker`` across ``jobs`` processes.
+
+    Returns one :class:`TaskResult` per task **in submission order**.
+    ``worker`` must be a picklable top-level callable taking the task
+    payload and returning a picklable value.  ``progress`` is called
+    once per *final* task outcome, in completion order.
+
+    Failure semantics: worker exceptions fail immediately (kind
+    ``"exception"``); crashes and per-task timeouts are re-run up to
+    ``retries`` times before failing (kinds ``"crash"`` /
+    ``"timeout"``).  ``overall_timeout`` bounds the whole call; on
+    expiry all running children are killed and every unfinished task
+    fails with kind ``"timeout"``.  The call itself never raises for
+    task failures — callers inspect the results.
+    """
+    tasks = list(tasks)
+    if jobs is None or jobs <= 0:
+        jobs = default_jobs()
+    if pin_hash_seed:
+        _pin_hash_seed()
+    ctx = multiprocessing.get_context(start_method or default_start_method())
+    results: List[Optional[TaskResult]] = [None] * len(tasks)
+    queue: deque = deque((index, 1) for index in range(len(tasks)))
+    running: Dict[int, _Running] = {}
+    overall_deadline = (
+        None if overall_timeout is None
+        else time.monotonic() + overall_timeout
+    )
+
+    def finish(result: TaskResult) -> None:
+        results[result.index_] = result  # type: ignore[attr-defined]
+        if progress is not None:
+            progress(result)
+
+    def launch(index: int, attempt: int) -> None:
+        spec = tasks[index]
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main,
+            args=(worker, spec.payload, child_conn),
+            name=f"repro-parallel-{spec.key}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = None if spec.timeout is None else now + spec.timeout
+        running[index] = _Running(
+            index, attempt, process, parent_conn, now, deadline
+        )
+
+    def reap(entry: _Running) -> None:
+        entry.process.join(timeout=_TERMINATE_GRACE_SECONDS)
+        if entry.process.is_alive():  # pragma: no cover - defensive
+            entry.process.kill()
+            entry.process.join()
+        entry.conn.close()
+        del running[entry.index]
+
+    def settle(entry: _Running, *, error=None, kind=None, value=None,
+               retry_allowed: bool = True) -> None:
+        spec = tasks[entry.index]
+        elapsed = time.monotonic() - entry.started
+        retryable = retry_allowed and kind in ("crash", "timeout")
+        reap(entry)
+        if error is not None and retryable and entry.attempt <= retries:
+            queue.append((entry.index, entry.attempt + 1))
+            return
+        result = TaskResult(
+            key=spec.key, value=value, error=error, kind=kind,
+            attempts=entry.attempt, seconds=elapsed,
+        )
+        result.index_ = entry.index  # type: ignore[attr-defined]
+        finish(result)
+
+    def kill_everything(reason: str) -> None:
+        for entry in list(running.values()):
+            entry.process.terminate()
+            settle(entry, error=reason, kind="timeout",
+                   retry_allowed=False)
+        while queue:
+            index, attempt = queue.popleft()
+            result = TaskResult(
+                key=tasks[index].key, error=reason, kind="timeout",
+                attempts=attempt, seconds=0.0,
+            )
+            result.index_ = index  # type: ignore[attr-defined]
+            finish(result)
+
+    while queue or running:
+        if overall_deadline is not None and \
+                time.monotonic() > overall_deadline:
+            kill_everything(
+                f"timeout: run exceeded its {overall_timeout:.0f}s "
+                f"overall deadline"
+            )
+            break
+        while queue and len(running) < jobs:
+            index, attempt = queue.popleft()
+            launch(index, attempt)
+        if not running:
+            continue
+        waitables = []
+        for entry in running.values():
+            waitables.append(entry.conn)
+            waitables.append(entry.process.sentinel)
+        wait_for = _WAIT_SECONDS
+        if overall_deadline is not None:
+            wait_for = min(
+                wait_for, max(0.0, overall_deadline - time.monotonic())
+            )
+        multiprocessing.connection.wait(waitables, timeout=wait_for)
+        now = time.monotonic()
+        for entry in list(running.values()):
+            message = None
+            if entry.conn.poll(0):
+                try:
+                    message = entry.conn.recv()
+                except EOFError:
+                    message = None
+            if message is not None:
+                status, body = message
+                if status == "ok":
+                    settle(entry, value=body)
+                else:
+                    settle(
+                        entry,
+                        error=f"worker raised:\n{body}",
+                        kind="exception",
+                    )
+            elif entry.deadline is not None and now > entry.deadline:
+                entry.process.terminate()
+                settle(
+                    entry,
+                    error=(
+                        f"timeout: task exceeded its "
+                        f"{tasks[entry.index].timeout:.0f}s deadline "
+                        f"(attempt {entry.attempt})"
+                    ),
+                    kind="timeout",
+                )
+            elif not entry.process.is_alive():
+                settle(
+                    entry,
+                    error=(
+                        f"worker crashed with exit code "
+                        f"{entry.process.exitcode} "
+                        f"(attempt {entry.attempt})"
+                    ),
+                    kind="crash",
+                )
+    # Strip the private index marker before handing results out.
+    final: List[TaskResult] = []
+    for index, result in enumerate(results):
+        assert result is not None, f"task {tasks[index].key} unaccounted"
+        if hasattr(result, "index_"):
+            del result.index_  # type: ignore[attr-defined]
+        final.append(result)
+    return final
+
+
+def require_ok(results: Sequence[TaskResult]) -> List[TaskResult]:
+    """Return ``results`` if all succeeded, else raise :class:`ParallelError`
+    naming every failed task and its cause."""
+    failed = [result for result in results if not result.ok]
+    if failed:
+        details = "; ".join(
+            f"{result.key} [{result.kind}, attempt {result.attempts}]: "
+            f"{result.error}"
+            for result in failed
+        )
+        raise ParallelError(
+            f"{len(failed)} of {len(results)} parallel tasks failed: "
+            f"{details}"
+        )
+    return list(results)

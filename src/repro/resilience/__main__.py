@@ -54,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="report disagreements without writing files")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip ddmin shrinking of disagreements")
+    fuzz.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the index range across N worker processes "
+             "(0 = one per core; default 1 = serial); results and "
+             "corpus files are identical to a serial run",
+    )
 
     audit = commands.add_parser(
         "audit", help="solve a workload suite with the graph-invariant "
@@ -82,14 +88,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    disagreements = run_fuzz(
-        count=args.systems,
-        seed=args.seed,
-        labels=args.experiments,
-        corpus_dir=None if args.no_save else args.corpus_dir,
-        shrink=not args.no_shrink,
-        progress=lambda line: print(line, flush=True),
-    )
+    from ..parallel.pool import ParallelError
+
+    try:
+        disagreements = run_fuzz(
+            count=args.systems,
+            seed=args.seed,
+            labels=args.experiments,
+            corpus_dir=None if args.no_save else args.corpus_dir,
+            shrink=not args.no_shrink,
+            progress=lambda line: print(line, flush=True),
+            jobs=args.jobs,
+        )
+    except ParallelError as error:
+        print(f"parallel fuzz failed: {error}", file=sys.stderr)
+        return 2
     if disagreements:
         print(f"\n{len(disagreements)} disagreement(s) in "
               f"{args.systems} systems:", file=sys.stderr)

@@ -57,7 +57,7 @@ from __future__ import annotations
 import io
 import pickle
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..constraints.expressions import ONE, Term, ZERO
 from ..graph.stats import SolverStats
@@ -76,7 +76,12 @@ CHECKPOINT_VERSION = 1
 _MAGIC = b"repro-ckpt\x00"
 
 
-def _intern_table(system: "ConstraintSystem") -> List[object]:
+def _intern_table(
+    system: "ConstraintSystem",
+    num_constructors: Optional[int] = None,
+    num_vars: Optional[int] = None,
+    num_constraints: Optional[int] = None,
+) -> List[object]:
     """Deterministically enumerate the system's shareable objects.
 
     Covers the 0/1 singletons, every registered constructor, every
@@ -85,18 +90,33 @@ def _intern_table(system: "ConstraintSystem") -> List[object]:
     stores in graphs, worklists, or diagnostics is built from these
     nodes — the engine destructures expressions but never builds new
     ones — so interning this table suffices to preserve identity.
+
+    The truncation limits matter at restore time: persistent IDs are
+    *indices* into this enumeration, so a system that grew after the
+    capture (``fresh_var`` between batches) would shift every
+    expression-node index unless the table is rebuilt over exactly the
+    capture-time prefix of constructors, variables, and constraints.
     """
     objects: List[object] = [ZERO, ONE, ZERO.constructor, ONE.constructor]
     seen = {id(obj) for obj in objects}
-    for ctor in system._constructors.values():
+    constructors = list(system._constructors.values())
+    if num_constructors is not None:
+        constructors = constructors[:num_constructors]
+    for ctor in constructors:
         if id(ctor) not in seen:
             seen.add(id(ctor))
             objects.append(ctor)
-    for var in system.variables:
+    variables = system.variables
+    if num_vars is not None:
+        variables = variables[:num_vars]
+    for var in variables:
         if id(var) not in seen:
             seen.add(id(var))
             objects.append(var)
-    for left, right in system.constraints:
+    constraints = system.constraints
+    if num_constraints is not None:
+        constraints = constraints[:num_constraints]
+    for left, right in constraints:
         stack = [right, left]
         while stack:
             node = stack.pop()
@@ -147,8 +167,20 @@ def _dump_state(state: Dict[str, Any],
     return buffer.getvalue()
 
 
-def _load_state(data: bytes, system: "ConstraintSystem") -> Dict[str, Any]:
-    return _InternUnpickler(io.BytesIO(data), _intern_table(system)).load()
+def _load_state(
+    data: bytes,
+    system: "ConstraintSystem",
+    num_constructors: Optional[int] = None,
+    num_vars: Optional[int] = None,
+    num_constraints: Optional[int] = None,
+) -> Dict[str, Any]:
+    table = _intern_table(
+        system,
+        num_constructors=num_constructors,
+        num_vars=num_vars,
+        num_constraints=num_constraints,
+    )
+    return _InternUnpickler(io.BytesIO(data), table).load()
 
 
 @dataclass
@@ -235,8 +267,16 @@ def capture(engine: "SolverEngine") -> EngineCheckpoint:
             "label": engine.options.label,
             "num_vars": engine.system.num_vars,
             "num_constraints": len(engine.system),
+            # Constructor count and order-spec name let restore rebuild
+            # the capture-time intern table and validate the order even
+            # after the system has grown (fresh_var between batches).
+            "num_constructors": len(engine.system._constructors),
+            "order": graph.order.spec_name,
             "form": graph.form_name,
         },
+        # The *materialized* rank array, not the order spec: a spec
+        # like RandomOrder re-run over a grown variable count would
+        # reshuffle every rank and diverge from the captured run.
         "ranks": list(graph.order.ranks),
         # Expression-bearing state is interned against the system (see
         # the module docstring) and stays opaque until restore.
@@ -253,8 +293,16 @@ def restore(
     """Rebuild an engine from ``checkpoint`` against the same inputs.
 
     ``system`` and ``options`` must describe the same run that was
-    captured (same constraints, configuration, order and seed);
-    mismatches raise :class:`CheckpointError`.  Call
+    captured (same configuration, order spec and seed, and the same
+    constraints); mismatches raise :class:`CheckpointError`.  The
+    system may have *grown* since the capture — incremental use creates
+    variables between batches — as long as the saved variables form a
+    prefix: restore installs the checkpoint's **materialized** rank
+    array over the saved prefix and extends it deterministically
+    (identity ranks for late variables, exactly like
+    :meth:`~repro.graph.order.VariableOrder.ensure`), instead of
+    re-running the order spec over the grown count, which would
+    reshuffle every rank and diverge from the captured run.  Call
     :meth:`~repro.solver.SolverEngine.resume` on the result to finish
     the run.
     """
@@ -266,38 +314,73 @@ def restore(
         )
     payload = checkpoint.payload
     meta = payload["meta"]
-    engine = SolverEngine(system, options)
+    saved_vars = int(meta["num_vars"])
+    saved_ranks = [int(rank) for rank in payload["ranks"]]
     mismatches = []
     if meta["label"] != options.label:
         mismatches.append(
             f"configuration {options.label!r} != saved {meta['label']!r}"
         )
-    if meta["num_vars"] != system.num_vars:
+    if system.num_vars < saved_vars:
         mismatches.append(
-            f"{system.num_vars} variables != saved {meta['num_vars']}"
+            f"{system.num_vars} variables < saved {saved_vars} "
+            f"(checkpointed variables must form a prefix)"
         )
     if meta["num_constraints"] != len(system):
         mismatches.append(
             f"{len(system)} constraints != saved {meta['num_constraints']}"
         )
-    if list(engine.graph.order.ranks) != payload["ranks"]:
-        mismatches.append("variable order (o(.) ranks) differs")
+    saved_order = meta.get("order")
+    if saved_order is not None and saved_order != options.order_spec().name:
+        mismatches.append(
+            f"variable order {options.order_spec().name!r} != saved "
+            f"{saved_order!r}"
+        )
+    if sorted(saved_ranks) != list(range(len(saved_ranks))):
+        mismatches.append(
+            "saved rank array is not a permutation (corrupt checkpoint)"
+        )
+    saved_constructors = meta.get("num_constructors")
+    if saved_constructors is None and system.num_vars != saved_vars:
+        # Pre-"num_constructors" checkpoints cannot resolve expression
+        # references against a grown system (the variable block shifts
+        # every later intern index); such checkpoints also predate
+        # growth-tolerant restore, so nothing regresses by refusing.
+        mismatches.append(
+            "checkpoint predates growth support and the system has "
+            "grown since the capture"
+        )
     if mismatches:
         raise CheckpointError(
             "checkpoint does not match the supplied system/options: "
             + "; ".join(mismatches)
         )
-    state = _load_state(payload["state"], system)
+    engine = SolverEngine(system, options)
+    state = _load_state(
+        payload["state"], system,
+        num_constructors=saved_constructors,
+        num_vars=saved_vars,
+        num_constraints=int(meta["num_constraints"]),
+    )
 
     graph = engine.graph
+    # Install the captured ranks in place — the graph aliases the list
+    # (`_ranks`, `rank = ranks.__getitem__`) at construction — then
+    # extend deterministically over any late-created variables.
+    order = graph.order
+    order.ranks[:] = saved_ranks
+    order.ensure(graph.num_vars)
     uf = graph.unionfind
+    # The captured graph may cover fewer variables than the restored
+    # one (growth since capture); state arrays are saved-graph-sized.
+    saved_graph_vars = len(state["parent"])
     # Mutate the union-find array in place: the engine and graph hold
     # direct aliases (`_uf_parent`) bound at construction.
-    uf._parent[:] = state["parent"]
+    uf._parent[:saved_graph_vars] = state["parent"]
     uf._collapsed = state["collapsed"]
     # The restored engine must itself be checkpointable again.
     graph.enable_journal()
-    for index in range(graph.num_vars):
+    for index in range(saved_graph_vars):
         graph.succ_vars[index] = _rebuild_set(state["succ"][index])
         graph.pred_vars[index] = _rebuild_set(state["pred"][index])
         graph.sources[index] = _rebuild_set(state["sources"][index])

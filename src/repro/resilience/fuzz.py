@@ -312,7 +312,8 @@ PROFILES: Dict[str, dict] = {
 }
 
 
-def _config_for(index: int, seed: int, rng: random.Random) -> RandomSystemConfig:
+def _config_for(index: int, seed: int,
+                rng: random.Random) -> RandomSystemConfig:
     shape = dict(
         seed=seed,
         variables=rng.randrange(6, 40),
@@ -352,6 +353,7 @@ def run_fuzz(
     corpus_dir: Optional[str] = DEFAULT_CORPUS_DIR,
     shrink: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[FuzzDisagreement]:
     """Fuzz ``count`` seeded systems; returns all disagreements found.
 
@@ -360,7 +362,23 @@ def run_fuzz(
     stream, so any reported disagreement reproduces from its seed alone.
     Disagreements are shrunk (unless ``shrink=False``) and saved under
     ``corpus_dir`` (unless ``None``).
+
+    ``jobs != 1`` shards the index range across a
+    :mod:`repro.parallel` worker pool (``jobs <= 0`` = one worker per
+    core).  Workers only *check* their contiguous index shard (each
+    re-derives the full shape stream so shapes do not depend on the
+    shard layout) and ship disagreements back as corpus JSON; this
+    parent process merges them in index order, writes every reproducer,
+    and bumps the metrics counter — so the returned list, the corpus
+    directory, and the default registry end up exactly as a serial run
+    leaves them.
     """
+    if jobs != 1:
+        return _run_fuzz_parallel(
+            count=count, seed=seed, labels=labels,
+            corpus_dir=corpus_dir, shrink=shrink, progress=progress,
+            jobs=jobs,
+        )
     rng = random.Random(seed)
     disagreements: List[FuzzDisagreement] = []
     for index in range(count):
@@ -391,6 +409,78 @@ def run_fuzz(
         if corpus_dir is not None:
             disagreement.path = save_reproducer(
                 corpus_dir, disagreement, reproducer
+            )
+        disagreements.append(disagreement)
+        if progress is not None:
+            progress(f"DISAGREEMENT {disagreement}")
+    return disagreements
+
+
+def _run_fuzz_parallel(
+    count: int,
+    seed: int,
+    labels: Optional[Sequence[str]],
+    corpus_dir: Optional[str],
+    shrink: bool,
+    progress: Optional[Callable[[str], None]],
+    jobs: int,
+) -> List[FuzzDisagreement]:
+    """The ``jobs != 1`` fuzz path: contiguous index shards per task."""
+    from ..parallel.pool import TaskSpec, default_jobs, require_ok, run_tasks
+    from ..parallel.tasks import fuzz_task, shard_ranges
+
+    if jobs <= 0:
+        jobs = default_jobs()
+    # A few shards per worker keeps the pool busy when one shard hits
+    # an expensive shrink; shards stay contiguous so merge order is
+    # index order.
+    ranges = shard_ranges(count, jobs * 4)
+    tasks = [
+        TaskSpec(
+            key=f"fuzz[{start}:{stop}]",
+            payload={
+                "count": count,
+                "seed": seed,
+                "labels": list(labels) if labels else None,
+                "start": start,
+                "stop": stop,
+                "shrink": shrink,
+            },
+        )
+        for start, stop in ranges
+    ]
+
+    checked = 0
+
+    def report_progress(result) -> None:
+        nonlocal checked
+        if progress is None or not result.ok:
+            return
+        checked += result.value["checked"]
+        progress(f"{checked}/{count} systems checked")
+
+    results = require_ok(run_tasks(
+        fuzz_task, tasks, jobs=jobs, progress=report_progress,
+    ))
+    disagreements: List[FuzzDisagreement] = []
+    merged = [
+        entry
+        for result in results
+        for entry in result.value["disagreements"]
+    ]
+    merged.sort(key=lambda entry: entry["index"])
+    for entry in merged:
+        _count_disagreement(entry["label"], entry["kind"])
+        disagreement = FuzzDisagreement(
+            seed=entry["seed"],
+            label=entry["label"],
+            kind=entry["kind"],
+            detail=entry["detail"],
+            constraints=entry["constraints"],
+        )
+        if corpus_dir is not None:
+            disagreement.path = save_reproducer(
+                corpus_dir, disagreement, system_from_json(entry["system"])
             )
         disagreements.append(disagreement)
         if progress is not None:

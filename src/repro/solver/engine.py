@@ -104,7 +104,9 @@ class SolverEngine:
                 f"got {options.on_budget!r}"
             )
         budget = options.budget
-        self._budget = budget if budget is not None and budget.bounded else None
+        self._budget = (
+            budget if budget is not None and budget.bounded else None
+        )
         self._cancellation = options.cancellation
         self._on_budget_partial = options.on_budget == "partial"
         self._check_stride = max(1, options.check_stride)
@@ -374,14 +376,10 @@ class SolverEngine:
                 append((OP_SINK, a.index, b))
 
     def _least_solution(self) -> Dict[int, FrozenSet[Term]]:
-        graph = self.graph
-        if isinstance(graph, InductiveGraph):
-            return graph.compute_least_solution()
-        return {
-            rep: frozenset(graph.sources[rep])
-            for rep in graph.unionfind.representatives()
-            if rep < graph.num_vars
-        }
+        # Both graph forms implement compute_least_solution: IF sweeps
+        # predecessors in rank order (equation (1)); SF reads the
+        # explicit source buckets, canonicalized through find.
+        return self.graph.compute_least_solution()
 
     @property
     def var_edges(self) -> Set[Tuple[int, int]]:

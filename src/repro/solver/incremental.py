@@ -20,7 +20,6 @@ from ..constraints.errors import ConstraintDiagnostic
 from ..constraints.expressions import SetExpression, Term, Var
 from ..constraints.system import ConstraintSystem
 from ..graph.base import OP_RESOLVE
-from ..graph.inductive import InductiveGraph
 from .engine import SolverEngine
 from .options import CyclePolicy, SolverOptions
 
@@ -80,19 +79,47 @@ class IncrementalSolver:
             self.add(left, right)
 
     def least_solution(self, var: Var) -> FrozenSet[Term]:
-        """Current least solution of ``var`` (recomputed lazily)."""
+        """Current least solution of ``var`` (recomputed lazily).
+
+        Shares :meth:`~repro.graph.base.ConstraintGraphBase.
+        compute_least_solution` with the batch engine; for standard
+        form that accumulates source buckets through ``find`` instead
+        of reading ``sources[rep]`` directly, so a query between
+        batches cannot miss terms still attached to a vertex an online
+        collapse absorbed (the SF-Online differential tests pin this
+        against the reference solver).
+        """
         if self._least is None:
-            graph = self._engine.graph
-            if isinstance(graph, InductiveGraph):
-                self._least = graph.compute_least_solution()
-            else:
-                self._least = {
-                    rep: frozenset(graph.sources[rep])
-                    for rep in graph.unionfind.representatives()
-                    if rep < graph.num_vars
-                }
+            self._least = self._engine.graph.compute_least_solution()
         rep = self._engine.graph.find(var.index)
         return self._least.get(rep, frozenset())
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore between batches
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Snapshot the engine between batches (see
+        :mod:`repro.resilience.checkpoint`); requires
+        ``SolverOptions(checkpointable=True)``."""
+        from ..resilience.checkpoint import capture
+
+        return capture(self._engine)
+
+    def restore(self, checkpoint) -> None:
+        """Replace the engine with one rebuilt from ``checkpoint``.
+
+        The system may have grown (``fresh_var``) since the capture;
+        restore keeps the checkpoint's materialized variable order for
+        the saved prefix and extends it deterministically, so
+        continuing to ``add`` after a restore reproduces the exact
+        counters of a never-interrupted run.
+        """
+        from ..resilience.checkpoint import restore as restore_engine
+
+        self._engine = restore_engine(
+            self.system, self.options, checkpoint
+        )
+        self._least = None  # invalidate
 
     def same_component(self, a: Var, b: Var) -> bool:
         return (

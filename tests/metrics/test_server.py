@@ -55,3 +55,57 @@ class TestServer:
     def test_unknown_path_404(self):
         status, _, _ = scrape(self.server, "/nope")
         assert status == 404
+
+
+class TestExpositionFailure:
+    """Regression: a raising registry must yield a 500, not an empty
+    200 (the handler used to swallow the exception with a bare pass)."""
+
+    class _BrokenRegistry(MetricsRegistry):
+        def expose(self):
+            raise RuntimeError("collector exploded")
+
+    def setup_method(self):
+        self.errors = []
+        self.registry = self._BrokenRegistry()
+        self.server, self.thread = serve_in_thread(
+            self.registry, error_hook=self.errors.append
+        )
+
+    def teardown_method(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+    def test_raising_registry_returns_500_with_cause(self):
+        status, headers, body = scrape(self.server)
+        assert status == 500
+        assert "text/plain" in headers["Content-Type"]
+        text = body.decode("utf-8")
+        assert "exposition failed" in text
+        assert "RuntimeError" in text and "collector exploded" in text
+
+    def test_error_hook_receives_the_exception(self):
+        scrape(self.server)
+        assert len(self.errors) == 1
+        assert isinstance(self.errors[0], RuntimeError)
+
+    def test_healthy_paths_keep_working(self):
+        status, _, body = scrape(self.server, "/")
+        assert status == 200
+        assert b"/metrics" in body
+
+    def test_default_hook_writes_traceback_to_stderr(self, capsys):
+        import repro.metrics.server as server_module
+
+        server, thread = server_module.serve_in_thread(
+            self._BrokenRegistry()
+        )
+        try:
+            status, _, _ = scrape(server)
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert status == 500
+        err = capsys.readouterr().err
+        assert "repro.metrics: exposition failed" in err
+        assert "RuntimeError: collector exploded" in err

@@ -1,0 +1,121 @@
+"""Round-trips for the per-worker artifact mergers."""
+
+import json
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.parallel import (
+    MergeError,
+    merge_jsonl_traces,
+    merge_metrics_snapshots,
+)
+
+
+def snapshot_with(counter_value, gauge_value):
+    registry = MetricsRegistry()
+    registry.counter("repro_test_ops_total", "ops", ("kind",)) \
+        .labels("vv").inc(counter_value)
+    registry.gauge("repro_test_depth", "depth").labels().set(gauge_value)
+    registry.histogram("repro_test_visits", "visits") \
+        .labels().observe(counter_value)
+    return registry.snapshot()
+
+
+class TestMetricsMerge:
+    def test_counters_and_histograms_accumulate(self):
+        merged = merge_metrics_snapshots(
+            [snapshot_with(3, 1.0), snapshot_with(4, 2.0)]
+        )
+        exposition = merged.expose()
+        assert "repro_test_ops_total" in exposition
+        assert '{kind="vv"} 7' in exposition.replace(
+            'repro_test_ops_total', ''
+        )
+        # Gauges take the last value (accumulate-on-load semantics).
+        assert "repro_test_depth 2\n" in exposition
+        assert "repro_test_visits_count 2" in exposition
+
+    def test_merge_round_trips_through_snapshot(self):
+        merged = merge_metrics_snapshots(
+            [snapshot_with(1, 0.0), snapshot_with(2, 0.0)]
+        )
+        reloaded = MetricsRegistry()
+        reloaded.load_snapshot(merged.snapshot())
+        assert reloaded.expose() == merged.expose()
+
+    def test_empty_snapshots_are_skipped(self):
+        merged = merge_metrics_snapshots([{}, snapshot_with(5, 0.0), {}])
+        assert "repro_test_ops_total" in merged.expose()
+
+    def test_accumulates_onto_supplied_registry(self):
+        registry = MetricsRegistry()
+        out = merge_metrics_snapshots([snapshot_with(2, 0.0)], registry)
+        assert out is registry
+
+
+def write_jsonl(path, records, schema=True):
+    with open(path, "w", encoding="utf-8") as handle:
+        if schema:
+            handle.write(json.dumps({"ev": "meta", "schema": 1}) + "\n")
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestJsonlMerge:
+    def test_concatenates_in_task_order(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(a, [{"ev": "edge", "n": 1}, {"ev": "edge", "n": 2}])
+        write_jsonl(b, [{"ev": "edge", "n": 3}])
+        out = tmp_path / "merged.jsonl"
+        count = merge_jsonl_traces([str(a), str(b)], str(out))
+        assert count == 3
+        lines = out.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0] == {"ev": "meta", "schema": 1}
+        assert [r["n"] for r in records[1:]] == [1, 2, 3]
+
+    def test_single_schema_header_survives(self, tmp_path):
+        paths = []
+        for n in range(3):
+            path = tmp_path / f"w{n}.jsonl"
+            write_jsonl(path, [{"ev": "edge", "n": n}])
+            paths.append(str(path))
+        out = tmp_path / "merged.jsonl"
+        merge_jsonl_traces(paths, str(out))
+        lines = out.read_text(encoding="utf-8").splitlines()
+        headers = [
+            line for line in lines if json.loads(line).get("ev") == "meta"
+        ]
+        assert len(headers) == 1
+        assert lines[0] == headers[0]
+
+    def test_torn_line_raises_with_location(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ev": "edge"}\n{"ev": "tor', encoding="utf-8")
+        out = tmp_path / "merged.jsonl"
+        with pytest.raises(MergeError) as excinfo:
+            merge_jsonl_traces([str(bad)], str(out))
+        assert "bad.jsonl:2" in str(excinfo.value)
+
+    def test_merged_stream_converts_to_chrome(self, tmp_path):
+        """The merged stream must stay consumable by repro.trace."""
+        from repro.solver import SolverOptions, solve
+        from repro.trace.sinks import JsonlSink
+        from repro.workloads import benchmark
+
+        paths = []
+        for n, name in enumerate(("allroots", "anagram")):
+            path = tmp_path / f"worker{n}.jsonl"
+            with open(path, "w", encoding="utf-8") as handle:
+                sink = JsonlSink(handle)
+                solve(benchmark(name).program.system,
+                      SolverOptions(sink=sink))
+            paths.append(str(path))
+        out = tmp_path / "merged.jsonl"
+        count = merge_jsonl_traces(paths, str(out))
+        assert count > 0
+        from repro.trace.chrome import convert_jsonl
+
+        document = convert_jsonl(str(out), str(tmp_path / "chrome.json"))
+        assert document["traceEvents"]

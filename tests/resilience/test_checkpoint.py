@@ -188,3 +188,98 @@ def test_resume_reproduces_committed_baseline(label):
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip() == "ok"
+
+
+# ----------------------------------------------------------------------
+# Growth across a checkpoint (incremental clients)
+# ----------------------------------------------------------------------
+
+from repro import Variance  # noqa: E402
+from repro.solver import CyclePolicy, GraphForm  # noqa: E402
+from repro.solver.incremental import IncrementalSolver  # noqa: E402
+from repro.solver.options import SolverOptions  # noqa: E402
+
+#: Every live counter an incremental engine accumulates (final-edge
+#: counts are only filled by the batch driver's finalize pass).
+LIVE_COUNTERS = tuple(
+    name for name in
+    ("work", "redundant", "self_edges", "resolutions", "clashes",
+     "cycle_searches", "cycle_search_visits", "cycles_found",
+     "vars_eliminated", "periodic_sweeps")
+)
+
+
+def _drive_incremental(form, interrupt):
+    """Two batches with cross-batch cycles; optionally checkpoint
+    between them, grow the system, and restore before batch two."""
+    solver = IncrementalSolver(SolverOptions(
+        form=form, cycles=CyclePolicy.ONLINE, checkpointable=True,
+    ))
+    box = solver.constructor("box", (Variance.COVARIANT,))
+    first = [solver.fresh_var(f"v{i}") for i in range(6)]
+    solver.add(solver.term(box, (solver.zero,), label="s0"), first[0])
+    for left, right in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]:
+        solver.add(first[left], first[right])
+
+    snapshot = solver.checkpoint() if interrupt else None
+    # The regression scenario: variables created AFTER the capture.
+    late = [solver.fresh_var(f"w{i}") for i in range(4)]
+    if interrupt:
+        solver.restore(snapshot)
+
+    solver.add(solver.term(box, (solver.one,), label="s1"), late[0])
+    # Cycles inside the late batch and across the checkpoint boundary.
+    for left, right in [(0, 1), (1, 2), (2, 0)]:
+        solver.add(late[left], late[right])
+    solver.add(late[2], first[1])
+    solver.add(first[5], late[3])
+    solver.add(late[3], first[3])
+    return solver, first + late
+
+
+@pytest.mark.parametrize(
+    "form", [GraphForm.STANDARD, GraphForm.INDUCTIVE]
+)
+def test_restore_after_growth_matches_uninterrupted(form):
+    """Regression: restore used to re-run the order spec over the grown
+    system, permuting ranks for the checkpointed prefix; it must
+    instead reinstall the *materialized* ranks and extend them."""
+    plain_solver, plain_vars = _drive_incremental(form, interrupt=False)
+    restored_solver, restored_vars = _drive_incremental(
+        form, interrupt=True
+    )
+    for name in LIVE_COUNTERS:
+        assert getattr(restored_solver.stats, name) \
+            == getattr(plain_solver.stats, name), name
+    assert plain_solver.stats.cycle_searches > 0
+    if form is GraphForm.INDUCTIVE:
+        # IF's closure rule is guaranteed to catch these cycles; SF's
+        # partial search may legitimately miss them.
+        assert plain_solver.stats.cycles_found > 0
+    for plain_var, restored_var in zip(plain_vars, restored_vars):
+        assert {str(t) for t in plain_solver.least_solution(plain_var)} \
+            == {str(t) for t in restored_solver.least_solution(
+                restored_var)}
+
+
+def test_restore_after_growth_preserves_components():
+    solver, variables = _drive_incremental(
+        GraphForm.INDUCTIVE, interrupt=True
+    )
+    # first[0..2] collapsed in batch one; late[0..2] joined them via the
+    # cross-boundary edges in batch two.
+    assert solver.same_component(variables[0], variables[2])
+    assert solver.same_component(variables[6], variables[8])
+
+
+def test_restore_rejects_shrunken_system():
+    """A checkpoint of MORE variables than the system has is a
+    mismatch, not an index error."""
+    solver = IncrementalSolver(SolverOptions(checkpointable=True))
+    solver.fresh_var()
+    solver.fresh_var()
+    snapshot = solver.checkpoint()
+    fresh = IncrementalSolver(SolverOptions(checkpointable=True))
+    fresh.fresh_var()
+    with pytest.raises(CheckpointError):
+        fresh.restore(snapshot)
